@@ -1,0 +1,40 @@
+# AuTraScale reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments summary fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Reproduce every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# Grade the paper's headline claims against this build.
+summary:
+	$(GO) run ./cmd/experiments summary
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

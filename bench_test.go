@@ -1,0 +1,267 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus micro-benchmarks for the numerical
+// core. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report headline quantities as custom metrics
+// (e.g. parallelism savings) so `go test -bench` output doubles as a
+// compact reproduction summary; EXPERIMENTS.md records the full
+// paper-vs-measured comparison.
+package autrascale_test
+
+import (
+	"testing"
+
+	"autrascale/internal/bo"
+	"autrascale/internal/dataflow"
+	"autrascale/internal/experiments"
+	"autrascale/internal/gp"
+	"autrascale/internal/mat"
+	"autrascale/internal/stat"
+	"autrascale/internal/workloads"
+)
+
+// BenchmarkFig1 reproduces Fig. 1: fixed parallelism under a rising rate.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(experiments.Fig1Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Series[len(res.Series)-1]
+		b.ReportMetric(last.LagRecords, "final-lag-records")
+	}
+}
+
+// BenchmarkFig2 reproduces Fig. 2: uniform parallelism sweep at 300k rps.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(experiments.Fig2Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[1].ThroughputRPS, "throughput-at-k2-rps")
+	}
+}
+
+// BenchmarkFig5 reproduces Fig. 5: throughput optimization per workload.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(experiments.Fig5Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var iters int
+		for _, w := range res.Workloads {
+			iters += w.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(len(res.Workloads)), "mean-iterations")
+	}
+}
+
+// BenchmarkTable2 reproduces Table II (+ the scale-up half of Figs. 6/7).
+func BenchmarkTable2(b *testing.B) {
+	benchElasticity(b, experiments.ScaleUp)
+}
+
+// BenchmarkTable3 reproduces Table III (+ the scale-down half of
+// Figs. 6/7).
+func BenchmarkTable3(b *testing.B) {
+	benchElasticity(b, experiments.ScaleDown)
+}
+
+func benchElasticity(b *testing.B, sc experiments.Scenario) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunElasticity(sc, experiments.ElasticityOptions{Seed: uint64(100 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Savings("DRS(observed)"), "savings-vs-DRS-observed-%")
+		b.ReportMetric(100*res.Savings("DRS(true)"), "savings-vs-DRS-true-%")
+	}
+}
+
+// BenchmarkFig6 is the latency view over both elasticity scenarios.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sc := range []experiments.Scenario{experiments.ScaleUp, experiments.ScaleDown} {
+			res, err := experiments.RunElasticity(sc, experiments.ElasticityOptions{Seed: uint64(100 + i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, j := range res.Jobs {
+				if m := j.Method("AuTraScale"); m != nil && !m.LatencyMet {
+					b.Fatalf("%s/%s: AuTraScale violates latency", sc, j.Workload)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 is the parallelism view over both elasticity scenarios.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var auTra, obs int
+		for _, sc := range []experiments.Scenario{experiments.ScaleUp, experiments.ScaleDown} {
+			res, err := experiments.RunElasticity(sc, experiments.ElasticityOptions{Seed: uint64(100 + i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, j := range res.Jobs {
+				auTra += j.Method("AuTraScale").TotalParallelism
+				obs += j.Method("DRS(observed)").TotalParallelism
+			}
+		}
+		b.ReportMetric(float64(auTra), "autrascale-total-slots")
+		b.ReportMetric(float64(obs), "drs-observed-total-slots")
+	}
+}
+
+// BenchmarkFig8 reproduces Fig. 8: transfer learning vs DS2 on a rate
+// change.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8(experiments.Fig8Options{Seed: uint64(300 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Savings(func(m experiments.Fig8Method) float64 {
+			return float64(m.TotalParallelism)
+		}), "parallelism-savings-%")
+	}
+}
+
+// BenchmarkTable4 reproduces Table IV: algorithm overhead vs operator
+// count.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4(experiments.Table4Options{Seed: uint64(i), Repeats: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Alg1TrainSec*1e3, "alg1-train-10ops-ms")
+	}
+}
+
+// ---- Micro-benchmarks for the numerical core ----
+
+// BenchmarkCholesky measures the GP's dominant linear-algebra kernel.
+func BenchmarkCholesky(b *testing.B) {
+	rng := stat.NewRNG(1)
+	n := 64
+	a := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Float64() - 0.5
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Add(i, i, float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPFitPredict measures one surrogate refit + prediction at the
+// sample counts Algorithm 1 works with.
+func BenchmarkGPFitPredict(b *testing.B) {
+	rng := stat.NewRNG(2)
+	const n = 30
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		ys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := gp.New(gp.Matern52{Variance: 1, LengthScale: 3}, 1e-4)
+		if err := r.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+		_, _, err := r.Predict([]float64{5, 5, 5, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEISweep measures an acquisition sweep over a candidate pool.
+func BenchmarkEISweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for m := 0.0; m < 1; m += 0.001 {
+			s += bo.ExpectedImprovement(m, 0.1, 0.8, 0.01)
+		}
+		if s < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkSimulatorTick measures the cost of one simulated second of the
+// WordCount job.
+func BenchmarkSimulatorTick(b *testing.B) {
+	e, err := workloads.NewEngine(workloads.WordCount(), workloads.EngineOptions{
+		Seed:               3,
+		InitialParallelism: dataflow.ParallelismVector{3, 4, 12, 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Tick()
+	}
+}
+
+// BenchmarkBOSuggest measures one full suggestion (refit + candidate pool
+// + EI maximization) at realistic observation counts.
+func BenchmarkBOSuggest(b *testing.B) {
+	space, err := bo.NewSpace(dataflow.ParallelismVector{3, 4, 12, 10}, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stat.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 15; j++ {
+			p := space.RandomPoint(rng)
+			if err := opt.Add(bo.Observation{Par: p, Score: rng.Float64()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := opt.Suggest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation runs the design-choice ablations (transfer vs scratch
+// vs unified model; true vs observed metric; kernel families).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblation(experiments.AblationOptions{Seed: uint64(500 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Transfer {
+			if row.Strategy == "Algorithm2 (transfer)" {
+				b.ReportMetric(float64(row.RealRuns), "transfer-real-runs")
+			}
+		}
+	}
+}

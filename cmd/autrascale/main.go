@@ -1,0 +1,134 @@
+// Command autrascale runs the AuTraScale controller on one of the paper's
+// benchmark workloads and prints the scaling decisions.
+//
+// Usage:
+//
+//	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
+//	           [-seed N] [-mode controller|once]
+//
+// Modes:
+//
+//	once        run throughput optimization + Algorithm 1 a single time
+//	            and print the recommended configuration (default)
+//	controller  run the full MAPE loop for -duration simulated seconds,
+//	            printing every decision event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autrascale/internal/core"
+	"autrascale/internal/flink"
+	"autrascale/internal/kafka"
+	"autrascale/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "wordcount",
+			"workload: wordcount, yahoo, nexmark-q5, nexmark-q11")
+		rate     = flag.Float64("rate", 0, "input rate in records/s (default: the workload's)")
+		latency  = flag.Float64("latency", 0, "target latency in ms (default: the workload's)")
+		duration = flag.Float64("duration", 3600, "controller mode: simulated seconds to run")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		mode     = flag.String("mode", "once", "once | controller")
+	)
+	flag.Parse()
+
+	spec, ok := findWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "autrascale: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if *rate <= 0 {
+		*rate = spec.DefaultRateRPS
+	}
+	if *latency <= 0 {
+		*latency = spec.TargetLatencyMS
+	}
+
+	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{
+		Schedule: kafka.ConstantRate(*rate),
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "once":
+		runOnce(engine, spec, *rate, *latency, *seed)
+	case "controller":
+		runController(engine, *latency, *duration, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "autrascale: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func findWorkload(name string) (workloads.Spec, bool) {
+	for _, s := range workloads.All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	if name == "wordcount-case" {
+		return workloads.WordCountCaseStudy(), true
+	}
+	return workloads.Spec{}, false
+}
+
+func runOnce(engine *flink.Engine, spec workloads.Spec, rate, latency float64, seed uint64) {
+	fmt.Printf("workload %s: target %.0f records/s, latency <= %.0f ms\n",
+		spec.Name, rate, latency)
+
+	tr, err := core.OptimizeThroughput(engine, core.ThroughputOptions{TargetRate: rate})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("throughput optimization: k' = %v (%.0f records/s, %d iterations, reached=%v)\n",
+		tr.Base, tr.BestThroughputRPS, tr.Iterations, tr.ReachedTarget)
+
+	res, err := core.RunAlgorithm1(engine, tr.Base, core.Algorithm1Config{
+		TargetRate:      rate,
+		TargetLatencyMS: latency,
+		Seed:            seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm 1: %d bootstrap runs + %d BO iterations (terminated=%v, threshold %.3f)\n",
+		res.BootstrapRuns, res.Iterations, res.Met, res.Threshold)
+	fmt.Printf("recommended configuration: %v (total %d slots)\n",
+		res.Best.Par, res.Best.Par.Total())
+	fmt.Printf("  latency   %.0f ms (met=%v)\n", res.Best.ProcLatencyMS, res.Best.LatencyMet)
+	fmt.Printf("  throughput %.0f records/s\n", res.Best.ThroughputRPS)
+	fmt.Printf("  score     %.3f\n", res.Best.Score)
+}
+
+func runController(engine *flink.Engine, latency, duration float64, seed uint64) {
+	ctl, err := core.NewController(engine, core.ControllerConfig{
+		TargetLatencyMS: latency,
+		Seed:            seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	events, err := ctl.Run(duration)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-9s %-12s %-22s %-12s %-12s %s\n",
+		"t(s)", "action", "parallelism", "latency(ms)", "thr(rps)", "reason")
+	for _, ev := range events {
+		fmt.Printf("%-9.0f %-12s %-22s %-12.0f %-12.0f %s\n",
+			ev.TimeSec, ev.Action, ev.Par.String(), ev.ProcLatencyMS, ev.ThroughputRPS, ev.Reason)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "autrascale: %v\n", err)
+	os.Exit(1)
+}

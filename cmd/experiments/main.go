@@ -1,0 +1,131 @@
+// Command experiments reproduces the paper's evaluation tables and
+// figures on the simulated testbed.
+//
+// Usage:
+//
+//	experiments [-seed N] [ids...]
+//
+// where ids are any of: fig1 fig2 fig5 tab2 tab3 fig6 fig7 fig8 tab4
+// ablation summary all
+// (fig6/fig7 are views over the same runs as tab2/tab3, so requesting
+// them re-runs the elasticity experiments). With no ids, "all" runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autrascale/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random seed for all experiments")
+	asJSON := flag.Bool("json", false, "emit raw experiment results as JSON instead of tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [fig1 fig2 fig5 tab2 tab3 fig6 fig7 fig8 tab4 ablation summary | all]\n",
+			os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[strings.ToLower(id)] = true
+	}
+	all := want["all"]
+
+	ran := 0
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	show := func(r experiments.Renderable) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r); err != nil {
+				fail("json", err)
+			}
+		} else {
+			for _, t := range r.Render() {
+				fmt.Println(t)
+			}
+		}
+		ran++
+	}
+
+	if all || want["fig1"] {
+		res, err := experiments.RunFig1(experiments.Fig1Options{Seed: *seed})
+		if err != nil {
+			fail("fig1", err)
+		}
+		show(res)
+	}
+	if all || want["fig2"] {
+		res, err := experiments.RunFig2(experiments.Fig2Options{Seed: *seed})
+		if err != nil {
+			fail("fig2", err)
+		}
+		show(res)
+	}
+	if all || want["fig5"] {
+		res, err := experiments.RunFig5(experiments.Fig5Options{Seed: *seed})
+		if err != nil {
+			fail("fig5", err)
+		}
+		show(res)
+	}
+	if all || want["tab2"] || want["fig6"] || want["fig7"] {
+		res, err := experiments.RunElasticity(experiments.ScaleUp, experiments.ElasticityOptions{Seed: *seed})
+		if err != nil {
+			fail("tab2", err)
+		}
+		show(res)
+	}
+	if all || want["tab3"] || want["fig6"] || want["fig7"] {
+		res, err := experiments.RunElasticity(experiments.ScaleDown, experiments.ElasticityOptions{Seed: *seed})
+		if err != nil {
+			fail("tab3", err)
+		}
+		show(res)
+	}
+	if all || want["fig8"] {
+		res, err := experiments.RunFig8(experiments.Fig8Options{Seed: *seed})
+		if err != nil {
+			fail("fig8", err)
+		}
+		show(res)
+	}
+	if all || want["ablation"] {
+		res, err := experiments.RunAblation(experiments.AblationOptions{Seed: *seed})
+		if err != nil {
+			fail("ablation", err)
+		}
+		show(res)
+	}
+	if all || want["summary"] {
+		res, err := experiments.RunSummary(experiments.SummaryOptions{Seed: *seed})
+		if err != nil {
+			fail("summary", err)
+		}
+		show(res)
+	}
+	if all || want["tab4"] {
+		res, err := experiments.RunTable4(experiments.Table4Options{Seed: *seed})
+		if err != nil {
+			fail("tab4", err)
+		}
+		show(res)
+	}
+	if ran == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

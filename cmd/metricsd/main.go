@@ -1,0 +1,143 @@
+// Command metricsd runs a workload simulation under the AuTraScale
+// controller and serves its metrics over HTTP — the Monitor stage of the
+// paper's MAPE loop made scrapeable:
+//
+//	/metrics   Prometheus text exposition of every simulator series
+//	/status    JSON snapshot (current parallelism, rates, controller log)
+//	/healthz   liveness
+//
+// The simulation advances in real time (one simulated second per
+// -tick-interval), so a scraper watches the controller converge live.
+//
+// Usage:
+//
+//	metricsd [-addr :9090] [-workload wordcount] [-latency ms]
+//	         [-tick-interval 10ms] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"autrascale/internal/core"
+	"autrascale/internal/flink"
+	"autrascale/internal/metrics"
+	"autrascale/internal/workloads"
+)
+
+type server struct {
+	mu     sync.Mutex
+	engine *flink.Engine
+	ctl    *core.Controller
+	store  *metrics.Store
+	err    error
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address")
+		workload = flag.String("workload", "wordcount", "workload: wordcount, yahoo, nexmark-q5, nexmark-q11")
+		latency  = flag.Float64("latency", 0, "target latency ms (default: the workload's)")
+		tick     = flag.Duration("tick-interval", 10*time.Millisecond, "wall time per simulated second")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var spec workloads.Spec
+	found := false
+	for _, s := range workloads.All() {
+		if s.Name == *workload {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		log.Fatalf("metricsd: unknown workload %q", *workload)
+	}
+	if *latency <= 0 {
+		*latency = spec.TargetLatencyMS
+	}
+
+	store := metrics.NewStore()
+	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{Store: store, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := core.NewController(engine, core.ControllerConfig{
+		TargetLatencyMS: *latency,
+		MaxIterations:   10,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &server{engine: engine, ctl: ctl, store: store}
+	go srv.drive(*tick)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", srv.handleMetrics)
+	mux.HandleFunc("/status", srv.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("metricsd: %s on %s (latency target %.0f ms)", spec.Name, *addr, *latency)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// drive advances the controller continuously, one MAPE step at a time,
+// pacing simulated seconds against wall time.
+func (s *server) drive(tick time.Duration) {
+	for {
+		s.mu.Lock()
+		before := s.engine.Now()
+		_, err := s.ctl.Step()
+		advanced := s.engine.Now() - before
+		if err != nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+		if err != nil {
+			log.Printf("metricsd: controller error: %v", err)
+			return
+		}
+		time.Sleep(time.Duration(advanced) * tick)
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.store.WriteExposition(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	m := s.engine.Measure()
+	status := map[string]interface{}{
+		"simulated_sec": s.engine.Now(),
+		"parallelism":   s.engine.Parallelism(),
+		"restarts":      s.engine.Restarts(),
+		"lag_records":   s.engine.Topic().Lag(),
+		"throughput":    m.ThroughputRPS,
+		"latency_ms":    m.ProcLatencyMS,
+		"events":        s.ctl.Events(),
+		"model_rates":   s.ctl.Library().Rates(),
+	}
+	if s.err != nil {
+		status["error"] = s.err.Error()
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(status); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: auto-scale the WordCount benchmark with AuTraScale.
+//
+// The two-phase flow mirrors the paper: first the throughput optimizer
+// finds the minimum parallelism k' that sustains the input rate (Eq. 3),
+// then Algorithm 1 searches above k' with Bayesian optimization until the
+// latency target is met without over-provisioning (Eq. 4/9).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autrascale"
+)
+
+func main() {
+	spec := autrascale.WordCount()
+	engine, err := autrascale.NewEngine(spec, autrascale.EngineOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %q on a %d-core cluster, input %.0f records/s, latency target %.0f ms\n\n",
+		spec.Name, engine.Cluster().TotalCores(), spec.DefaultRateRPS, spec.TargetLatencyMS)
+
+	// Phase 1: throughput optimization (paper §III-C).
+	tr, err := autrascale.OptimizeThroughput(engine, autrascale.ThroughputOptions{
+		TargetRate: spec.DefaultRateRPS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("phase 1 — throughput optimization (true processing rates, Eq. 3):")
+	for i, h := range tr.History {
+		fmt.Printf("  iteration %d: %v -> %.0f records/s\n", i+1, h.Par, h.ThroughputRPS)
+	}
+	fmt.Printf("  k' = %v (throughput target reached: %v)\n\n", tr.Base, tr.ReachedTarget)
+
+	// Phase 2: Bayesian optimization at the steady rate (Algorithm 1).
+	res, err := autrascale.RunAlgorithm1(engine, tr.Base, autrascale.Algorithm1Config{
+		TargetRate:      spec.DefaultRateRPS,
+		TargetLatencyMS: spec.TargetLatencyMS,
+		Seed:            42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2 — Algorithm 1: %d bootstrap runs, %d BO iterations, benefit threshold %.2f\n",
+		res.BootstrapRuns, res.Iterations, res.Threshold)
+	fmt.Printf("  recommended: %v (total %d slots)\n", res.Best.Par, res.Best.Par.Total())
+	fmt.Printf("  latency %.0f ms (target met: %v), throughput %.0f records/s, score %.3f\n",
+		res.Best.ProcLatencyMS, res.Best.LatencyMet, res.Best.ThroughputRPS, res.Best.Score)
+}

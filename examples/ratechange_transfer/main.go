@@ -1,0 +1,60 @@
+// Rate-change transfer: run the full MAPE controller on Nexmark Query 11
+// while the input rate steps from 80k to 100k records/s (the §V-D
+// scenario). The first planning pass at 80k trains a benefit model; when
+// the rate changes, the controller transfers it (Algorithm 2) instead of
+// re-learning from scratch, so only a couple of real configurations are
+// executed at the new rate.
+//
+// Run with:
+//
+//	go run ./examples/ratechange_transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autrascale"
+)
+
+func main() {
+	spec := autrascale.NexmarkQ11()
+	schedule := autrascale.StepSchedule{Steps: []autrascale.RateStep{
+		{FromSec: 0, Rate: 80e3},
+		{FromSec: 7200, Rate: 100e3},
+	}}
+
+	engine, err := autrascale.NewEngine(spec, autrascale.EngineOptions{
+		Schedule: schedule,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctl, err := autrascale.NewController(engine, autrascale.ControllerConfig{
+		TargetLatencyMS: spec.TargetLatencyMS,
+		MaxIterations:   12, // keep each planning session short
+		Seed:            7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s under a rate step 80k -> 100k records/s at t=7200s (latency target %.0f ms)\n\n",
+		spec.Name, spec.TargetLatencyMS)
+	events, err := ctl.Run(10800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %-12s %-14s %-12s %s\n", "t(s)", "action", "parallelism", "latency(ms)", "reason")
+	for _, ev := range events {
+		if ev.Action == "none" {
+			continue
+		}
+		fmt.Printf("%-8.0f %-12s %-14s %-12.0f %s\n",
+			ev.TimeSec, ev.Action, ev.Par.String(), ev.ProcLatencyMS, ev.Reason)
+	}
+	fmt.Printf("\nbenefit models in the library (by rate): %v\n", ctl.Library().Rates())
+	fmt.Printf("final configuration: %v\n", engine.Parallelism())
+}

@@ -1,0 +1,3 @@
+module autrascale
+
+go 1.22

@@ -1,0 +1,109 @@
+package ds2
+
+import (
+	"errors"
+
+	"autrascale/internal/dataflow"
+	"autrascale/internal/flink"
+)
+
+// Online mode: DS2's deployment loop as described in its paper — monitor
+// each policy interval, and whenever the job no longer sustains the
+// current input rate (e.g. after a rate change), compute the linear-rule
+// configuration for the *current* rate and apply it. This is the mode the
+// AuTraScale paper compares its MAPE controller against conceptually:
+// DS2 tracks throughput only and never reasons about latency or resource
+// over-provisioning beyond the linear rule.
+
+// OnlineConfig parameterizes RunOnline.
+type OnlineConfig struct {
+	// PMax caps per-operator parallelism.
+	PMax int
+	// IntervalSec is the monitoring period (default 60).
+	IntervalSec float64
+	// SettleSec is the post-reconfiguration stabilization window
+	// (default 2×IntervalSec).
+	SettleSec float64
+	// Utilization is the sizing headroom (default 1.0 — pure rule).
+	Utilization float64
+	// Epsilon is the throughput slack (default 0.02).
+	Epsilon float64
+}
+
+func (c *OnlineConfig) defaults(e *flink.Engine) error {
+	if c.PMax <= 0 {
+		c.PMax = e.Cluster().MaxParallelism()
+	}
+	if c.IntervalSec <= 0 {
+		c.IntervalSec = 60
+	}
+	if c.SettleSec <= 0 {
+		c.SettleSec = 2 * c.IntervalSec
+	}
+	if c.Utilization <= 0 || c.Utilization > 1 {
+		c.Utilization = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.02
+	}
+	return nil
+}
+
+// OnlineEvent records one online-mode decision.
+type OnlineEvent struct {
+	TimeSec       float64
+	RateRPS       float64
+	ThroughputRPS float64
+	Rescaled      bool
+	Par           dataflow.ParallelismVector
+}
+
+// RunOnline drives the engine until untilSec, rescaling whenever the
+// measured throughput falls short of the scheduled input rate.
+func RunOnline(e *flink.Engine, cfg OnlineConfig, untilSec float64) ([]OnlineEvent, error) {
+	if e == nil {
+		return nil, errors.New("ds2: nil engine")
+	}
+	if err := cfg.defaults(e); err != nil {
+		return nil, err
+	}
+	var events []OnlineEvent
+	for e.Now() < untilSec {
+		m := e.RunAndMeasure(0, cfg.IntervalSec)
+		ev := OnlineEvent{
+			TimeSec:       e.Now(),
+			RateRPS:       m.InputRateRPS,
+			ThroughputRPS: m.ThroughputRPS,
+			Par:           m.Par.Clone(),
+		}
+		lagging := m.InputRateRPS > 0 &&
+			m.ThroughputRPS < m.InputRateRPS*(1-cfg.Epsilon) &&
+			m.LagRecords > m.InputRateRPS // sustained shortfall, not jitter
+		if lagging {
+			pol := &Policy{
+				PMax:              cfg.PMax,
+				TargetRate:        m.InputRateRPS,
+				Epsilon:           cfg.Epsilon,
+				TargetUtilization: cfg.Utilization,
+			}
+			next, err := pol.Step(e.Graph(), m)
+			if err != nil {
+				return events, err
+			}
+			if !next.Equal(m.Par) {
+				if err := e.SetParallelism(next); err != nil {
+					return events, err
+				}
+				ev.Rescaled = true
+				ev.Par = next.Clone()
+				// Let the restart and catch-up settle, then drop the
+				// remaining backlog so the next window measures the new
+				// configuration.
+				e.Run(cfg.SettleSec)
+				e.SeekToLatest()
+			}
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

@@ -1,0 +1,89 @@
+package ds2
+
+import (
+	"testing"
+
+	"autrascale/internal/cluster"
+	"autrascale/internal/flink"
+	"autrascale/internal/kafka"
+)
+
+func TestRunOnlineValidation(t *testing.T) {
+	if _, err := RunOnline(nil, OnlineConfig{}, 100); err == nil {
+		t.Fatal("nil engine should error")
+	}
+}
+
+func TestRunOnlineReactsToRateStep(t *testing.T) {
+	g := chainGraph(t, 0)
+	c, err := cluster.New(cluster.Config{Machines: []cluster.Machine{
+		{Name: "m1", Cores: 32, MemMB: 65536}, {Name: "m2", Cores: 32, MemMB: 65536}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := kafka.StepSchedule{Steps: []kafka.Step{
+		{FromSec: 0, Rate: 1500},
+		{FromSec: 900, Rate: 2600},
+	}}
+	topic, err := kafka.NewTopic("in", 4, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := flink.New(flink.Config{Graph: g, Cluster: c, Topic: topic, NoNoise: true, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := RunOnline(e, OnlineConfig{}, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	// It must have rescaled at least twice: once for the initial ramp-up
+	// from parallelism 1, once after the 2600-rps step.
+	var rescales []OnlineEvent
+	for _, ev := range events {
+		if ev.Rescaled {
+			rescales = append(rescales, ev)
+		}
+	}
+	if len(rescales) < 2 {
+		t.Fatalf("rescales = %d, want >= 2: %+v", len(rescales), events)
+	}
+	// The final window must sustain the final rate.
+	last := events[len(events)-1]
+	if last.ThroughputRPS < 2600*0.97 {
+		t.Fatalf("final throughput = %v, want ~2600", last.ThroughputRPS)
+	}
+	// And the final configuration must be sized up from the first one.
+	if last.Par.Total() <= events[0].Par.Total() {
+		t.Fatalf("no growth: %v -> %v", events[0].Par, last.Par)
+	}
+}
+
+func TestRunOnlineQuietWhenProvisioned(t *testing.T) {
+	g := chainGraph(t, 0)
+	c, _ := cluster.New(cluster.Config{Machines: []cluster.Machine{
+		{Name: "m1", Cores: 32, MemMB: 65536}, {Name: "m2", Cores: 32, MemMB: 65536}}})
+	topic, _ := kafka.NewTopic("in", 4, kafka.ConstantRate(500))
+	e, err := flink.New(flink.Config{Graph: g, Cluster: c, Topic: topic, NoNoise: true, Seed: 78,
+		InitialParallelism: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallelism 1 everywhere handles 500 rps in this graph (min base
+	// rate is 400... the join at 400/inst is the bottleneck). Give it 2.
+	if err := e.SetParallelism([]int{1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := RunOnline(e, OnlineConfig{}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Rescaled {
+			t.Fatalf("no rescale expected when provisioned: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package bo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autrascale/internal/dataflow"
+	"autrascale/internal/stat"
+)
+
+func mustSpace(t *testing.T, base dataflow.ParallelismVector, pmax int) Space {
+	t.Helper()
+	s, err := NewSpace(base, pmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(dataflow.ParallelismVector{}, 10); err == nil {
+		t.Fatal("empty base should error")
+	}
+	if _, err := NewSpace(dataflow.ParallelismVector{5, 2}, 4); err == nil {
+		t.Fatal("PMax below base max should error")
+	}
+	if _, err := NewSpace(dataflow.ParallelismVector{5, 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceContainsClamp(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{2, 3}, 10)
+	if !s.Contains(dataflow.ParallelismVector{2, 10}) {
+		t.Fatal("boundary point should be contained")
+	}
+	if s.Contains(dataflow.ParallelismVector{1, 5}) {
+		t.Fatal("below base should not be contained")
+	}
+	if s.Contains(dataflow.ParallelismVector{2, 11}) {
+		t.Fatal("above PMax should not be contained")
+	}
+	if s.Contains(dataflow.ParallelismVector{2}) {
+		t.Fatal("wrong dim should not be contained")
+	}
+	c := s.Clamp(dataflow.ParallelismVector{0, 99})
+	if !c.Equal(dataflow.ParallelismVector{2, 10}) {
+		t.Fatalf("Clamp = %v", c)
+	}
+}
+
+func TestRandomPointInSpace(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{2, 3, 1}, 12)
+	rng := stat.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		if p := s.RandomPoint(rng); !s.Contains(p) {
+			t.Fatalf("RandomPoint out of space: %v", p)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{1, 1}, 5)
+	n := s.Neighbors(dataflow.ParallelismVector{3, 3}, 1)
+	if len(n) != 4 {
+		t.Fatalf("interior point should have 4 neighbors, got %d", len(n))
+	}
+	// At the lower corner only upward moves remain.
+	n = s.Neighbors(dataflow.ParallelismVector{1, 1}, 1)
+	if len(n) != 2 {
+		t.Fatalf("corner should have 2 neighbors, got %v", n)
+	}
+	for _, p := range n {
+		if !s.Contains(p) {
+			t.Fatalf("neighbor out of space: %v", p)
+		}
+	}
+	// step <= 0 defaults to 1.
+	if len(s.Neighbors(dataflow.ParallelismVector{3, 3}, 0)) != 4 {
+		t.Fatal("step 0 should behave as step 1")
+	}
+}
+
+func TestBootstrapSetDesign(t *testing.T) {
+	// Base (2, 1, 3), PMax 9, M = 3: the base anchor, uniform levels at
+	// kmax=3, 6, 9, plus 3 one-hot samples.
+	s := mustSpace(t, dataflow.ParallelismVector{2, 1, 3}, 9)
+	set, err := s.BootstrapSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dataflow.ParallelismVector{
+		{2, 1, 3},                       // base anchor
+		{3, 3, 3}, {6, 6, 6}, {9, 9, 9}, // uniform levels
+		{9, 1, 3}, {2, 9, 3}, {2, 1, 9}, // one-hot
+	}
+	if len(set) != len(want) {
+		t.Fatalf("set size = %d, want %d (%v)", len(set), len(want), set)
+	}
+	for i, w := range want {
+		if !set[i].Equal(w) {
+			t.Fatalf("sample %d = %v, want %v", i, set[i], w)
+		}
+	}
+	// All inside the space, no duplicates.
+	seen := map[string]bool{}
+	for _, p := range set {
+		if !s.Contains(p) {
+			t.Fatalf("bootstrap sample out of space: %v", p)
+		}
+		if seen[p.Key()] {
+			t.Fatalf("duplicate bootstrap sample %v", p)
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestBootstrapSetEdgeCases(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{4, 4}, 4) // PMax == kmax
+	set, err := s.BootstrapSet(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || !set[0].Equal(dataflow.ParallelismVector{4, 4}) {
+		t.Fatalf("degenerate space set = %v", set)
+	}
+	if _, err := s.BootstrapSet(0); err == nil {
+		t.Fatal("M=0 should error")
+	}
+}
+
+func TestScorer(t *testing.T) {
+	base := dataflow.ParallelismVector{2, 4}
+	sc, err := NewScorer(0.5, 100, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the base configuration with latency met: F = 1.
+	if f := sc.Score(80, base); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("perfect score = %v, want 1", f)
+	}
+	// Double the parallelism: resource term halves → F = 0.5 + 0.25.
+	if f := sc.Score(80, dataflow.ParallelismVector{4, 8}); math.Abs(f-0.75) > 1e-12 {
+		t.Fatalf("doubled config score = %v, want 0.75", f)
+	}
+	// Latency violation halves the latency term.
+	if f := sc.Score(200, base); math.Abs(f-(0.5*0.5+0.5)) > 1e-12 {
+		t.Fatalf("violating score = %v", f)
+	}
+}
+
+func TestScorerValidation(t *testing.T) {
+	base := dataflow.ParallelismVector{1}
+	if _, err := NewScorer(-0.1, 100, base); err == nil {
+		t.Fatal("alpha < 0 should error")
+	}
+	if _, err := NewScorer(1.1, 100, base); err == nil {
+		t.Fatal("alpha > 1 should error")
+	}
+	if _, err := NewScorer(0.5, 0, base); err == nil {
+		t.Fatal("target 0 should error")
+	}
+	if _, err := NewScorer(0.5, 100, dataflow.ParallelismVector{}); err == nil {
+		t.Fatal("empty base should error")
+	}
+}
+
+// Properties from §III-D: (a) lower latency never lowers the score;
+// (b) parallelism closer to base never lowers the score; F in [0, 1].
+func TestScorerMonotonicityProperty(t *testing.T) {
+	base := dataflow.ParallelismVector{2, 3, 4}
+	sc, err := NewScorer(0.6, 150, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := stat.NewRNG(seed)
+		l1 := 10 + r.Float64()*500
+		l2 := l1 + r.Float64()*300
+		p := dataflow.ParallelismVector{
+			2 + r.Intn(10), 3 + r.Intn(10), 4 + r.Intn(10),
+		}
+		s1, s2 := sc.Score(l1, p), sc.Score(l2, p)
+		if s1 < s2-1e-12 {
+			return false // higher latency must not score higher
+		}
+		if s1 < 0 || s1 > 1 {
+			return false
+		}
+		// Add parallelism to one operator: score must not increase.
+		q := p.Clone()
+		q[r.Intn(3)] += 1 + r.Intn(5)
+		return sc.Score(l1, q) <= s1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	sc, _ := NewScorer(0.5, 100, dataflow.ParallelismVector{1})
+	// Eq. 9 with w = 0.25: F >= 0.5 + 0.5/1.25 = 0.9.
+	if th := sc.Threshold(0.25); math.Abs(th-0.9) > 1e-12 {
+		t.Fatalf("Threshold(0.25) = %v, want 0.9", th)
+	}
+	if th := sc.Threshold(0); th != 1 {
+		t.Fatalf("Threshold(0) = %v, want 1", th)
+	}
+	if th := sc.Threshold(-3); th != 1 {
+		t.Fatalf("negative w should clamp to 0, got %v", th)
+	}
+	if !sc.LatencyMet(100) || sc.LatencyMet(100.1) {
+		t.Fatal("LatencyMet boundary wrong")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Zero std → zero EI (Eq. 5 case σ(x)=0).
+	if ei := ExpectedImprovement(10, 0, 5, 0.01); ei != 0 {
+		t.Fatalf("EI with σ=0 should be 0, got %v", ei)
+	}
+	// Mean far above best → EI ≈ mean − best − xi.
+	ei := ExpectedImprovement(10, 0.1, 5, 0.01)
+	if math.Abs(ei-4.99) > 0.01 {
+		t.Fatalf("EI = %v, want ~4.99", ei)
+	}
+	// Mean far below best with tiny std → EI ≈ 0.
+	if ei := ExpectedImprovement(0, 0.1, 5, 0.01); ei > 1e-6 {
+		t.Fatalf("hopeless EI = %v", ei)
+	}
+}
+
+// Property: EI >= 0 and increases with std for symmetric cases.
+func TestEIProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stat.NewRNG(seed)
+		mean := r.Float64()*10 - 5
+		best := r.Float64()*10 - 5
+		s1 := r.Float64() * 2
+		s2 := s1 + r.Float64()*2 + 1e-9
+		e1 := ExpectedImprovement(mean, s1, best, 0.01)
+		e2 := ExpectedImprovement(mean, s2, best, 0.01)
+		return e1 >= 0 && e2 >= e1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizerValidation(t *testing.T) {
+	if _, err := NewOptimizer(OptimizerConfig{}); err == nil {
+		t.Fatal("empty space should error")
+	}
+	s := mustSpace(t, dataflow.ParallelismVector{1, 1}, 8)
+	if _, err := NewOptimizer(OptimizerConfig{Space: s, Xi: -1}); err == nil {
+		t.Fatal("negative xi should error")
+	}
+	o, err := NewOptimizer(OptimizerConfig{Space: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add(Observation{Par: dataflow.ParallelismVector{1}, Score: 1}); err == nil {
+		t.Fatal("wrong-dim observation should error")
+	}
+	if err := o.Add(Observation{Par: dataflow.ParallelismVector{1, 1}, Score: math.NaN()}); err == nil {
+		t.Fatal("NaN score should error")
+	}
+	if _, err := o.Suggest(); err == nil {
+		t.Fatal("Suggest with no data should error")
+	}
+	if _, ok := o.Best(); ok {
+		t.Fatal("Best with no data should be false")
+	}
+}
+
+func TestOptimizerAddSemantics(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{1, 1}, 8)
+	o, _ := NewOptimizer(OptimizerConfig{Space: s})
+	p := dataflow.ParallelismVector{2, 2}
+	_ = o.Add(Observation{Par: p, Score: 0.5, Estimated: true})
+	if o.NumReal() != 0 {
+		t.Fatal("estimated sample should not count as real")
+	}
+	// Real replaces estimated.
+	_ = o.Add(Observation{Par: p, Score: 0.7})
+	if o.NumReal() != 1 || len(o.Observations()) != 1 {
+		t.Fatalf("real should replace estimated: %v", o.Observations())
+	}
+	// Estimated must not replace real.
+	_ = o.Add(Observation{Par: p, Score: 0.1, Estimated: true})
+	best, _ := o.Best()
+	if best.Score != 0.7 {
+		t.Fatalf("estimated overwrote real: %v", best)
+	}
+}
+
+// End-to-end: BO should find the maximum of a known concave function on
+// the lattice within a modest number of iterations.
+func TestOptimizerFindsOptimum(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{1, 1}, 12)
+	o, err := NewOptimizer(OptimizerConfig{Space: s, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score peaks at (4, 9).
+	score := func(p dataflow.ParallelismVector) float64 {
+		dx := float64(p[0] - 4)
+		dy := float64(p[1] - 9)
+		return 1 - 0.01*(dx*dx+dy*dy)
+	}
+	// Seed with a coarse design.
+	for _, p := range []dataflow.ParallelismVector{{1, 1}, {12, 12}, {1, 12}, {12, 1}, {6, 6}} {
+		if err := o.Add(Observation{Par: p, Score: score(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		p, err := o.Suggest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Contains(p) {
+			t.Fatalf("suggestion out of space: %v", p)
+		}
+		if err := o.Add(Observation{Par: p, Score: score(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, _ := o.Best()
+	if best.Score < 0.97 {
+		t.Fatalf("BO best = %v (score %v), want near (4,9)", best.Par, best.Score)
+	}
+}
+
+func TestOptimizerPredict(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{1}, 10)
+	o, _ := NewOptimizer(OptimizerConfig{Space: s, Seed: 3})
+	for k := 1; k <= 10; k += 3 {
+		_ = o.Add(Observation{Par: dataflow.ParallelismVector{k}, Score: float64(k) / 10})
+	}
+	mean, std, err := o.Predict(dataflow.ParallelismVector{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std < 0 {
+		t.Fatalf("negative std %v", std)
+	}
+	if mean < 0.2 || mean > 0.9 {
+		t.Fatalf("Predict(5) mean = %v, want within data range", mean)
+	}
+}
+
+func TestUpperConfidenceBound(t *testing.T) {
+	if got := UpperConfidenceBound(1, 0.5, 2); got != 2 {
+		t.Fatalf("UCB = %v, want 2", got)
+	}
+	if got := UpperConfidenceBound(1, -3, 2); got != 1 {
+		t.Fatalf("negative std should clamp: %v", got)
+	}
+}
+
+func TestSuggestAcqModes(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{1, 1}, 10)
+	o, err := NewOptimizer(OptimizerConfig{Space: s, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(p dataflow.ParallelismVector) float64 {
+		dx := float64(p[0] - 3)
+		dy := float64(p[1] - 7)
+		return 1 - 0.02*(dx*dx+dy*dy)
+	}
+	for _, p := range []dataflow.ParallelismVector{{1, 1}, {10, 10}, {5, 5}, {2, 8}} {
+		if err := o.Add(Observation{Par: p, Score: score(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, acq := range []Acquisition{AcqEI, AcqUCB, AcqMean} {
+		p, err := o.SuggestAcq(acq)
+		if err != nil {
+			t.Fatalf("acq %d: %v", acq, err)
+		}
+		if !s.Contains(p) {
+			t.Fatalf("acq %d suggested out-of-space %v", acq, p)
+		}
+	}
+	// UCB optimization loop also converges on the toy peak.
+	for i := 0; i < 20; i++ {
+		p, err := o.SuggestAcq(AcqUCB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Add(Observation{Par: p, Score: score(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, _ := o.Best()
+	if best.Score < 0.95 {
+		t.Fatalf("UCB loop best = %v (%v), want near (3,7)", best.Score, best.Par)
+	}
+}

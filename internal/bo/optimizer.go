@@ -1,0 +1,434 @@
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autrascale/internal/dataflow"
+	"autrascale/internal/gp"
+	"autrascale/internal/stat"
+)
+
+// ExpectedImprovement computes the EI acquisition value (paper Eq. 5–7)
+// at a point with GP posterior (mean, std), given the best observed value
+// fBest and exploration parameter xi:
+//
+//	K  = μ(x) − f(x⁺) − ξ
+//	Z  = K/σ(x)            (0 when σ = 0)
+//	EI = K·Φ(Z) + σ·φ(Z)   (0 when σ = 0)
+func ExpectedImprovement(mean, std, fBest, xi float64) float64 {
+	if std <= 0 {
+		return 0
+	}
+	k := mean - fBest - xi
+	z := k / std
+	ei := k*stat.NormCDF(z) + std*stat.NormPDF(z)
+	if ei < 0 {
+		return 0
+	}
+	return ei
+}
+
+// UpperConfidenceBound is the GP-UCB acquisition value μ(x) + β·σ(x),
+// an alternative to EI (the paper evaluates EI; UCB is provided for the
+// acquisition ablation and downstream experimentation). β trades off
+// exploration; common values are 1–3.
+func UpperConfidenceBound(mean, std, beta float64) float64 {
+	if std < 0 {
+		std = 0
+	}
+	return mean + beta*std
+}
+
+// Acquisition selects the acquisition function Suggest maximizes.
+type Acquisition int
+
+// Acquisition functions.
+const (
+	// AcqEI is expected improvement with ξ (the paper's choice, Eq. 5–7).
+	AcqEI Acquisition = iota
+	// AcqUCB is the upper confidence bound μ + β·σ.
+	AcqUCB
+	// AcqMean is pure exploitation of the posterior mean.
+	AcqMean
+)
+
+// Observation is one evaluated configuration.
+type Observation struct {
+	Par   dataflow.ParallelismVector
+	Score float64
+	// Estimated marks transfer-learning pseudo-samples (Algorithm 2)
+	// that came from a previous model rather than a real run.
+	Estimated bool
+}
+
+// Optimizer maintains the GP surrogate over observed (configuration,
+// score) pairs and proposes the next configuration by maximizing EI over
+// the lattice.
+type Optimizer struct {
+	space   Space
+	xi      float64
+	exploit bool
+	rng     *stat.RNG
+
+	obs   []Observation
+	model *gp.Regressor
+	dirty bool
+}
+
+// OptimizerConfig configures NewOptimizer.
+type OptimizerConfig struct {
+	Space Space
+	// Xi is the EI exploration parameter (default 0.01).
+	Xi float64
+	// Seed drives the candidate sampling.
+	Seed uint64
+	// Exploit makes Suggest return the posterior-mean maximizer instead
+	// of the EI maximizer. Transfer learning (Algorithm 2) uses this:
+	// its surrogate is warm-started with *estimated* pseudo-samples, so
+	// the posterior variance that EI feeds on is not meaningful — the
+	// transferred mean surface is the signal to follow.
+	Exploit bool
+}
+
+// NewOptimizer builds an Optimizer.
+func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
+	if cfg.Space.Dim() == 0 {
+		return nil, errors.New("bo: empty space")
+	}
+	xi := cfg.Xi
+	if xi == 0 {
+		xi = 0.01
+	}
+	if xi < 0 {
+		return nil, errors.New("bo: negative xi")
+	}
+	return &Optimizer{
+		space:   cfg.Space,
+		xi:      xi,
+		exploit: cfg.Exploit,
+		rng:     stat.NewRNG(cfg.Seed ^ 0x51ab_c0ff_ee12_3457),
+	}, nil
+}
+
+// Space returns the search space.
+func (o *Optimizer) Space() Space { return o.space }
+
+// Observations returns a copy of the recorded observations.
+func (o *Optimizer) Observations() []Observation {
+	return append([]Observation(nil), o.obs...)
+}
+
+// NumReal returns the count of non-estimated observations.
+func (o *Optimizer) NumReal() int {
+	n := 0
+	for _, ob := range o.obs {
+		if !ob.Estimated {
+			n++
+		}
+	}
+	return n
+}
+
+// Add records an observation. A configuration observed twice keeps the
+// newest real value (real samples replace estimated ones for the same
+// point; an estimated sample never replaces a real one).
+func (o *Optimizer) Add(ob Observation) error {
+	if len(ob.Par) != o.space.Dim() {
+		return fmt.Errorf("bo: observation dim %d, want %d", len(ob.Par), o.space.Dim())
+	}
+	if math.IsNaN(ob.Score) || math.IsInf(ob.Score, 0) {
+		return errors.New("bo: non-finite score")
+	}
+	ob.Par = ob.Par.Clone()
+	for i := range o.obs {
+		if o.obs[i].Par.Equal(ob.Par) {
+			if o.obs[i].Estimated || !ob.Estimated {
+				o.obs[i] = ob
+				o.dirty = true
+			}
+			return nil
+		}
+	}
+	o.obs = append(o.obs, ob)
+	o.dirty = true
+	return nil
+}
+
+// Best returns the best observation, preferring real samples; it returns
+// false when there are none.
+func (o *Optimizer) Best() (Observation, bool) {
+	if len(o.obs) == 0 {
+		return Observation{}, false
+	}
+	best := o.obs[0]
+	for _, ob := range o.obs[1:] {
+		if ob.Score > best.Score {
+			best = ob
+		}
+	}
+	return best, true
+}
+
+// refit rebuilds the GP surrogate when observations changed.
+func (o *Optimizer) refit() error {
+	if !o.dirty && o.model != nil {
+		return nil
+	}
+	if len(o.obs) == 0 {
+		return gp.ErrNoData
+	}
+	xs := make([][]float64, len(o.obs))
+	ys := make([]float64, len(o.obs))
+	for i, ob := range o.obs {
+		xs[i] = ob.Par.Floats()
+		ys[i] = ob.Score
+	}
+	model, err := gp.FitAuto(xs, ys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		return err
+	}
+	o.model = model
+	o.dirty = false
+	return nil
+}
+
+// Predict returns the GP posterior (mean, std) at configuration p.
+func (o *Optimizer) Predict(p dataflow.ParallelismVector) (mean, std float64, err error) {
+	if err := o.refit(); err != nil {
+		return 0, 0, err
+	}
+	return o.model.PredictStd(p.Floats())
+}
+
+// Suggest proposes the next configuration to evaluate: the EI-maximizing
+// lattice point over a candidate pool of random points, neighbors of the
+// best observation, and the bootstrap anchors. Already-evaluated real
+// points are excluded. When every candidate has zero EI the best
+// posterior-mean unevaluated point is returned (pure exploitation).
+func (o *Optimizer) Suggest() (dataflow.ParallelismVector, error) {
+	return o.SuggestWith(o.exploit)
+}
+
+// SuggestWith proposes the next configuration using either the EI
+// acquisition (exploit=false) or pure posterior-mean exploitation
+// (exploit=true). Callers that alternate acquisition modes per iteration
+// (Algorithm 1 mixes exploration with exploitation) use this directly.
+func (o *Optimizer) SuggestWith(exploit bool) (dataflow.ParallelismVector, error) {
+	if exploit {
+		return o.SuggestAcq(AcqMean)
+	}
+	return o.SuggestAcq(AcqEI)
+}
+
+// SuggestAcq proposes the next configuration maximizing the chosen
+// acquisition function over the candidate pool (with hill-climb
+// refinement). AcqUCB uses β = 2.
+func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, error) {
+	exploit := acq == AcqMean
+	if err := o.refit(); err != nil {
+		return nil, err
+	}
+	best, _ := o.Best()
+	fBest := best.Score
+
+	evaluated := map[string]bool{}
+	for _, ob := range o.obs {
+		if !ob.Estimated {
+			evaluated[ob.Par.Key()] = true
+		}
+	}
+
+	eiAt := func(p dataflow.ParallelismVector) float64 {
+		mean, std, err := o.model.PredictStd(p.Floats())
+		if err != nil {
+			return -1
+		}
+		if acq == AcqUCB {
+			const beta = 2.0
+			return UpperConfidenceBound(mean, std, beta)
+		}
+		return ExpectedImprovement(mean, std, fBest, o.xi)
+	}
+	meanAt := func(p dataflow.ParallelismVector) float64 {
+		mean, _, err := o.model.PredictStd(p.Floats())
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return mean
+	}
+
+	// resourceTerm is the analytic resource half of the scoring function
+	// (Eq. 4): known without running, it breaks EI near-ties toward
+	// smaller configurations.
+	resourceTerm := func(p dataflow.ParallelismVector) float64 {
+		var s float64
+		for i, k := range p {
+			s += float64(o.space.Base[i]) / float64(k)
+		}
+		return s / float64(len(p))
+	}
+
+	candidates := o.candidatePool(best.Par)
+	var (
+		bestEI   = -1.0
+		bestCand dataflow.ParallelismVector
+		bestMean = math.Inf(-1)
+		meanCand dataflow.ParallelismVector
+	)
+	consider := func(c dataflow.ParallelismVector) {
+		if evaluated[c.Key()] {
+			return
+		}
+		ei := eiAt(c)
+		switch {
+		case ei > bestEI*1.1:
+			bestEI = ei
+			bestCand = c
+		case ei > bestEI*0.9 && bestCand != nil && resourceTerm(c) > resourceTerm(bestCand):
+			// Near-tie: prefer the cheaper configuration.
+			if ei > bestEI {
+				bestEI = ei
+			}
+			bestCand = c
+		case ei > bestEI:
+			bestEI = ei
+			bestCand = c
+		}
+		if m := meanAt(c); m > bestMean {
+			bestMean = m
+			meanCand = c
+		}
+	}
+	for _, c := range candidates {
+		consider(c)
+	}
+	// Refine the two leading candidates by hill-climbing their objective
+	// over the lattice (stronger acquisition optimization than pool
+	// scanning alone; narrow score ridges need it).
+	if bestCand != nil {
+		consider(o.hillClimb(bestCand, eiAt, evaluated))
+	}
+	if meanCand != nil {
+		consider(o.hillClimb(meanCand, meanAt, evaluated))
+	}
+	if best.Par != nil {
+		consider(o.hillClimb(best.Par, meanAt, evaluated))
+	}
+	if exploit && meanCand != nil {
+		return meanCand, nil
+	}
+	if bestCand == nil {
+		if meanCand == nil {
+			return nil, errors.New("bo: no unevaluated candidates remain")
+		}
+		return meanCand, nil
+	}
+	if bestEI <= 0 && meanCand != nil {
+		return meanCand, nil
+	}
+	return bestCand, nil
+}
+
+// hillClimb coordinate-descends objective (maximizing) over the lattice
+// starting at p, trying ±{1,2,4,8,16} per coordinate, until no move
+// improves or the evaluation budget is spent. Points in `skip` may be
+// traversed but never returned.
+func (o *Optimizer) hillClimb(p dataflow.ParallelismVector, objective func(dataflow.ParallelismVector) float64, skip map[string]bool) dataflow.ParallelismVector {
+	cur := p.Clone()
+	curV := objective(cur)
+	budget := 200
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+		for dim := 0; dim < len(cur) && budget > 0; dim++ {
+			for _, step := range []int{-16, -8, -4, -2, -1, 1, 2, 4, 8, 16} {
+				q := cur.Clone()
+				q[dim] += step
+				q = o.space.Clamp(q)
+				if q.Equal(cur) {
+					continue
+				}
+				budget--
+				if v := objective(q); v > curV {
+					cur, curV = q, v
+					improved = true
+					break
+				}
+			}
+		}
+	}
+	if skip[cur.Key()] {
+		return p // fall back to the start; caller filters evaluated points
+	}
+	return cur
+}
+
+// candidatePool gathers lattice candidates: random points, neighborhood
+// of the incumbent at several step sizes, dense near-base samples, and
+// the space corners. Once enough real observations exist, the pool
+// contracts to a trust region around the incumbent and the base corner
+// (TuRBO-style), trading global exploration for convergence.
+func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) []dataflow.ParallelismVector {
+	seen := map[string]bool{}
+	var pool []dataflow.ParallelismVector
+	add := func(p dataflow.ParallelismVector) {
+		if p == nil || !o.space.Contains(p) {
+			return
+		}
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			pool = append(pool, p)
+		}
+	}
+	const trustAfter = 12 // real samples before the pool contracts
+	localOnly := o.NumReal() >= trustAfter
+	if !localOnly {
+		const randomCount = 256
+		for i := 0; i < randomCount; i++ {
+			add(o.space.RandomPoint(o.rng))
+		}
+	}
+	// Densely sample near the base corner: the scoring function's
+	// resource term is maximal at base, so the optimum sits on the
+	// latency-feasibility boundary close to it. Cubic-biased offsets
+	// keep most candidates within a few steps of base while still
+	// reaching deeper occasionally.
+	const nearBaseCount = 128
+	for i := 0; i < nearBaseCount; i++ {
+		p := o.space.Base.Clone()
+		for d := range p {
+			r := o.rng.Float64()
+			span := o.space.PMax - o.space.Base[d]
+			if span > 24 {
+				span = 24
+			}
+			off := int(r * r * r * float64(span+1))
+			p[d] += off
+		}
+		add(o.space.Clamp(p))
+	}
+	if incumbent != nil {
+		for _, step := range []int{1, 2, 4, 8, 16} {
+			for _, n := range o.space.Neighbors(incumbent, step) {
+				add(n)
+			}
+		}
+		// Interpolations between the incumbent and the base corner: the
+		// resource term of the score always improves toward base, so the
+		// line segment is a high-value direction to probe.
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			p := make(dataflow.ParallelismVector, len(incumbent))
+			for i := range p {
+				p[i] = o.space.Base[i] + int(frac*float64(incumbent[i]-o.space.Base[i])+0.5)
+			}
+			add(o.space.Clamp(p))
+		}
+	}
+	add(o.space.Base.Clone())
+	if !localOnly {
+		add(dataflow.Uniform(o.space.Dim(), o.space.PMax))
+	}
+	return pool
+}

@@ -1,0 +1,76 @@
+package bo
+
+import (
+	"errors"
+
+	"autrascale/internal/dataflow"
+)
+
+// Scorer evaluates the comprehensive benefit F of a configuration
+// (paper Eq. 4):
+//
+//	F = α·min(1, l_t/l_r) + (1−α)·(1/N)·Σ_i k'_i/k_i
+//
+// The first term rewards meeting the latency target l_t (l_r is the
+// measured latency); the second penalizes over-provisioning relative to
+// the throughput-optimal base configuration k'. α weights the two goals.
+type Scorer struct {
+	Alpha    float64                    // relative importance of latency, in [0, 1]
+	TargetMS float64                    // latency target l_t (milliseconds)
+	Base     dataflow.ParallelismVector // k'
+}
+
+// NewScorer validates and builds a Scorer.
+func NewScorer(alpha, targetMS float64, base dataflow.ParallelismVector) (Scorer, error) {
+	if alpha < 0 || alpha > 1 {
+		return Scorer{}, errors.New("bo: alpha must be in [0, 1]")
+	}
+	if targetMS <= 0 {
+		return Scorer{}, errors.New("bo: latency target must be > 0")
+	}
+	if err := base.Validate(0); err != nil {
+		return Scorer{}, err
+	}
+	return Scorer{Alpha: alpha, TargetMS: targetMS, Base: base.Clone()}, nil
+}
+
+// Score computes F for the measured latency under configuration cur.
+// It panics if cur has the wrong length (programmer error).
+func (s Scorer) Score(latencyMS float64, cur dataflow.ParallelismVector) float64 {
+	if len(cur) != len(s.Base) {
+		panic("bo: Score configuration length mismatch")
+	}
+	latTerm := 1.0
+	if latencyMS > 0 && latencyMS > s.TargetMS {
+		latTerm = s.TargetMS / latencyMS
+	}
+	var resTerm float64
+	for i, k := range cur {
+		if k < 1 {
+			k = 1
+		}
+		resTerm += float64(s.Base[i]) / float64(k)
+	}
+	resTerm /= float64(len(cur))
+	if resTerm > 1 {
+		// Below-base configurations cannot earn extra credit.
+		resTerm = 1
+	}
+	return s.Alpha*latTerm + (1-s.Alpha)*resTerm
+}
+
+// LatencyMet reports whether latencyMS meets the target.
+func (s Scorer) LatencyMet(latencyMS float64) bool {
+	return latencyMS <= s.TargetMS
+}
+
+// Threshold returns the termination benefit threshold of Eq. 9 for a
+// user over-allocation tolerance w (>= 0):
+//
+//	F ≥ α + (1−α)·1/(1+w)
+func (s Scorer) Threshold(w float64) float64 {
+	if w < 0 {
+		w = 0
+	}
+	return s.Alpha + (1-s.Alpha)/(1+w)
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"autrascale/internal/bo"
+	"autrascale/internal/dataflow"
+	"autrascale/internal/flink"
+	"autrascale/internal/gp"
+)
+
+// Algorithm1Config parameterizes RunAlgorithm1 (paper Algorithm 1).
+type Algorithm1Config struct {
+	// TargetRate v_c (records/s); used to verify throughput is held.
+	TargetRate float64
+	// TargetLatencyMS is l_t.
+	TargetLatencyMS float64
+	// Alpha weighs latency vs. resources in the scoring function
+	// (default 0.5).
+	Alpha float64
+	// OverAllocationW is the user tolerance w of Eq. 8/9 (default 0.25,
+	// which with α = 0.5 gives the paper's benefit threshold 0.9).
+	OverAllocationW float64
+	// Xi is the EI exploration parameter (default 0.01).
+	Xi float64
+	// BootstrapM is the number of uniform bootstrap samples M
+	// (default 5).
+	BootstrapM int
+	// MaxIterations bounds the BO loop after bootstrapping (default 15).
+	MaxIterations int
+	// PMax caps per-operator parallelism (default: cluster ceiling).
+	PMax int
+	// WarmupSec/MeasureSec define the policy-running window (defaults
+	// 30/120).
+	WarmupSec, MeasureSec float64
+	// Seed drives BO candidate sampling.
+	Seed uint64
+	// SkipBootstrap starts the BO loop from pre-seeded observations
+	// (used by Algorithm 2, which replaces bootstrap runs with estimated
+	// samples).
+	SkipBootstrap bool
+}
+
+func (c *Algorithm1Config) defaults(e *flink.Engine) error {
+	if c.TargetRate <= 0 || c.TargetLatencyMS <= 0 {
+		return errors.New("core: TargetRate and TargetLatencyMS must be > 0")
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return errors.New("core: Alpha must be in [0, 1]")
+	}
+	if c.OverAllocationW == 0 {
+		c.OverAllocationW = 0.25
+	}
+	if c.OverAllocationW < 0 {
+		return errors.New("core: OverAllocationW must be >= 0")
+	}
+	if c.Xi == 0 {
+		c.Xi = 0.01
+	}
+	if c.BootstrapM <= 0 {
+		c.BootstrapM = 5
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 25
+	}
+	if c.PMax <= 0 {
+		c.PMax = e.Cluster().MaxParallelism()
+	}
+	if c.WarmupSec <= 0 {
+		c.WarmupSec = 30
+	}
+	if c.MeasureSec <= 0 {
+		c.MeasureSec = 120
+	}
+	return nil
+}
+
+// TrialPhase labels how a configuration was evaluated.
+type TrialPhase string
+
+// Phases of Algorithm 1.
+const (
+	PhaseBootstrap TrialPhase = "bootstrap"
+	PhaseBO        TrialPhase = "bo"
+)
+
+// Trial is one evaluated configuration with its QoS outcome.
+type Trial struct {
+	Phase         TrialPhase
+	Par           dataflow.ParallelismVector
+	Score         float64
+	ProcLatencyMS float64
+	ThroughputRPS float64
+	LatencyMet    bool
+	CPUUsedCores  float64
+	MemUsedMB     float64
+}
+
+// Algorithm1Result is the outcome of RunAlgorithm1.
+type Algorithm1Result struct {
+	// Best is the selected configuration: the highest-scoring trial that
+	// met the latency target, or the highest-scoring trial overall if
+	// none did.
+	Best Trial
+	// Met reports whether the termination condition of Eq. 9 fired
+	// (latency met and benefit score above the threshold).
+	Met bool
+	// Threshold is the Eq. 9 benefit threshold that applied.
+	Threshold float64
+	// Iterations counts BO iterations (excluding bootstrap runs).
+	Iterations int
+	// BootstrapRuns counts configurations evaluated during bootstrap.
+	BootstrapRuns int
+	Trials        []Trial
+	// Model is the fitted benefit model, ready to be stored in the model
+	// library for later transfer learning.
+	Model *gp.Regressor
+}
+
+// RunAlgorithm1 executes AuTraScale's Bayesian optimization at a steady
+// input rate. base is the throughput-optimal configuration k' from
+// OptimizeThroughput, which bounds the search space from below.
+//
+// Pre-seeded observations (Algorithm 2's estimated samples) can be passed
+// via seedObs; combined with SkipBootstrap they realize the transfer
+// warm start.
+func RunAlgorithm1(e *flink.Engine, base dataflow.ParallelismVector, cfg Algorithm1Config, seedObs ...bo.Observation) (*Algorithm1Result, error) {
+	if err := cfg.defaults(e); err != nil {
+		return nil, err
+	}
+	if len(base) != e.Graph().NumOperators() {
+		return nil, fmt.Errorf("core: base has %d entries, graph has %d operators",
+			len(base), e.Graph().NumOperators())
+	}
+	space, err := bo.NewSpace(base, cfg.PMax)
+	if err != nil {
+		return nil, err
+	}
+	scorer, err := bo.NewScorer(cfg.Alpha, cfg.TargetLatencyMS, base)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Xi: cfg.Xi, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	for _, ob := range seedObs {
+		if err := opt.Add(ob); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Algorithm1Result{Threshold: scorer.Threshold(cfg.OverAllocationW)}
+
+	evaluate := func(p dataflow.ParallelismVector, phase TrialPhase) (Trial, error) {
+		if err := e.SetParallelism(p); err != nil {
+			return Trial{}, err
+		}
+		// Each trial is judged at steady state for the current input
+		// rate, not while draining backlog inherited from earlier trials.
+		m := e.MeasureSteady(cfg.WarmupSec, cfg.MeasureSec)
+		score := scorer.Score(m.ProcLatencyMS, p)
+		tr := Trial{
+			Phase:         phase,
+			Par:           p.Clone(),
+			Score:         score,
+			ProcLatencyMS: m.ProcLatencyMS,
+			ThroughputRPS: m.ThroughputRPS,
+			LatencyMet:    scorer.LatencyMet(m.ProcLatencyMS),
+			CPUUsedCores:  m.CPUUsedCores,
+			MemUsedMB:     m.MemUsedMB,
+		}
+		res.Trials = append(res.Trials, tr)
+		if err := opt.Add(bo.Observation{Par: p, Score: score}); err != nil {
+			return Trial{}, err
+		}
+		return tr, nil
+	}
+
+	terminated := func(tr Trial) bool {
+		return tr.LatencyMet && tr.Score >= res.Threshold
+	}
+
+	// Bootstrap phase (§III-D). Termination (Eq. 9) applies only to the
+	// iterative recommend-run-judge loop, not to the training design:
+	// bootstrap samples exist to teach the surrogate, and a one-hot
+	// sample can satisfy Eq. 9's *average* resource ratio while wildly
+	// over-provisioning a single operator.
+	if !cfg.SkipBootstrap {
+		set, err := space.BootstrapSet(cfg.BootstrapM)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range set {
+			if _, err := evaluate(p, PhaseBootstrap); err != nil {
+				return nil, err
+			}
+			res.BootstrapRuns++
+		}
+	}
+
+	// BO loop. Acquisition alternates EI exploration with pure
+	// posterior-mean exploitation: EI covers the space, exploitation
+	// drives the iterate onto the feasible score maximum near the base
+	// corner.
+	for !res.Met && res.Iterations < cfg.MaxIterations {
+		p, err := opt.SuggestWith(res.Iterations%3 != 2)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := evaluate(p, PhaseBO)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations++
+		if terminated(tr) {
+			res.Met = true
+		}
+	}
+
+	res.Best = selectBest(res.Trials)
+	// Leave the engine on the selected configuration and expose the
+	// fitted model for the library.
+	if res.Best.Par != nil {
+		if err := e.SetParallelism(res.Best.Par); err != nil {
+			return nil, err
+		}
+	}
+	res.Model = fitFinalModel(res.Trials, seedObs)
+	return res, nil
+}
+
+// selectBest prefers latency-meeting trials by score; with none, the best
+// score overall.
+func selectBest(trials []Trial) Trial {
+	var best Trial
+	found := false
+	for _, tr := range trials {
+		if !tr.LatencyMet {
+			continue
+		}
+		if !found || tr.Score > best.Score {
+			best, found = tr, true
+		}
+	}
+	if found {
+		return best
+	}
+	for _, tr := range trials {
+		if tr.Score > best.Score || best.Par == nil {
+			best = tr
+		}
+	}
+	return best
+}
+
+// fitFinalModel fits the benefit model on all real trials (plus seeds) so
+// it can be stored in the model library.
+func fitFinalModel(trials []Trial, seeds []bo.Observation) *gp.Regressor {
+	var xs [][]float64
+	var ys []float64
+	seen := map[string]bool{}
+	for _, tr := range trials {
+		if seen[tr.Par.Key()] {
+			continue
+		}
+		seen[tr.Par.Key()] = true
+		xs = append(xs, tr.Par.Floats())
+		ys = append(ys, tr.Score)
+	}
+	for _, s := range seeds {
+		if s.Estimated || seen[s.Par.Key()] {
+			continue
+		}
+		seen[s.Par.Key()] = true
+		xs = append(xs, s.Par.Floats())
+		ys = append(ys, s.Score)
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	model, err := gp.FitAuto(xs, ys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		return nil
+	}
+	return model
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autrascale/internal/dataflow"
+	"autrascale/internal/flink"
+	"autrascale/internal/stat"
+	"autrascale/internal/transfer"
+)
+
+// ControllerConfig parameterizes the MAPE control loop (§IV).
+type ControllerConfig struct {
+	// TargetLatencyMS is the job's latency requirement l_t.
+	TargetLatencyMS float64
+	// Alpha, OverAllocationW, Xi, BootstrapM: see Algorithm1Config.
+	Alpha           float64
+	OverAllocationW float64
+	Xi              float64
+	BootstrapM      int
+	// PolicyIntervalSec is how often the controller wakes up
+	// (default 60 simulated seconds).
+	PolicyIntervalSec float64
+	// PolicyRunningSec is the measurement window after a reconfiguration
+	// — "the job needs a certain amount of time to restart and the QoS
+	// is extremely unstable at this time" (default 120; the paper
+	// recommends an integer multiple of the policy interval).
+	PolicyRunningSec float64
+	// RateChangeFraction is the relative input-rate change that triggers
+	// re-planning (default 0.1).
+	RateChangeFraction float64
+	// MaxIterations bounds each algorithm invocation (default 15).
+	MaxIterations int
+	// Seed drives stochastic choices.
+	Seed uint64
+	// Library preloads benefit models (e.g. restored from a previous
+	// run via transfer.LoadLibrary); nil starts empty. The first rate
+	// change can then transfer immediately instead of learning from
+	// scratch.
+	Library *transfer.ModelLibrary
+}
+
+func (c *ControllerConfig) defaults() error {
+	if c.TargetLatencyMS <= 0 {
+		return errors.New("core: controller needs TargetLatencyMS > 0")
+	}
+	if c.PolicyIntervalSec <= 0 {
+		c.PolicyIntervalSec = 60
+	}
+	if c.PolicyRunningSec <= 0 {
+		c.PolicyRunningSec = 2 * c.PolicyIntervalSec
+	}
+	if c.RateChangeFraction <= 0 {
+		c.RateChangeFraction = 0.1
+	}
+	return nil
+}
+
+// ActionKind labels what a controller step did.
+type ActionKind string
+
+// Controller actions.
+const (
+	ActionNone       ActionKind = "none"       // QoS and benefit in range
+	ActionThroughput ActionKind = "throughput" // ran the throughput optimizer
+	ActionAlgorithm1 ActionKind = "algorithm1" // ran BO at a steady rate
+	ActionAlgorithm2 ActionKind = "algorithm2" // ran transfer learning
+)
+
+// Event records one controller decision.
+type Event struct {
+	TimeSec       float64
+	Action        ActionKind
+	Reason        string
+	RateRPS       float64
+	Par           dataflow.ParallelismVector
+	ProcLatencyMS float64
+	ThroughputRPS float64
+}
+
+// Controller is the paper's Scaling Manager + Policy Controller + System
+// Scheduler stack, driving a single job.
+type Controller struct {
+	engine  *flink.Engine
+	cfg     ControllerConfig
+	library *transfer.ModelLibrary
+
+	curRate  float64
+	rateEWMA *stat.EWMA
+	base     dataflow.ParallelismVector
+	events   []Event
+}
+
+// NewController builds a controller for the engine.
+func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
+	if e == nil {
+		return nil, errors.New("core: nil engine")
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	lib := cfg.Library
+	if lib == nil {
+		lib = transfer.NewModelLibrary()
+	}
+	return &Controller{
+		engine:  e,
+		cfg:     cfg,
+		library: lib,
+		// Smooth the observed input rate (half-life one policy window) so the
+		// controller re-plans on sustained shifts, not window jitter.
+		rateEWMA: stat.NewEWMA(stat.HalfLifeAlpha(1)),
+	}, nil
+}
+
+// Library exposes the benefit-model library (for inspection/tests).
+func (c *Controller) Library() *transfer.ModelLibrary { return c.library }
+
+// Events returns the decision log.
+func (c *Controller) Events() []Event { return append([]Event(nil), c.events...) }
+
+// Base returns the current throughput-optimal configuration k'.
+func (c *Controller) Base() dataflow.ParallelismVector { return c.base.Clone() }
+
+// Step performs one MAPE pass: observe a policy window, decide, act.
+func (c *Controller) Step() (Event, error) {
+	e := c.engine
+	m := e.RunAndMeasure(0, c.cfg.PolicyIntervalSec)
+	ev := Event{
+		TimeSec:       e.Now(),
+		RateRPS:       m.InputRateRPS,
+		Par:           m.Par.Clone(),
+		ProcLatencyMS: m.ProcLatencyMS,
+		ThroughputRPS: m.ThroughputRPS,
+		Action:        ActionNone,
+	}
+
+	// Detect sustained rate shifts on the smoothed signal, but plan for
+	// the currently measured rate.
+	smoothed := c.rateEWMA.Observe(m.InputRateRPS)
+	rate := m.InputRateRPS
+	rateChanged := c.curRate == 0 ||
+		math.Abs(smoothed-c.curRate) > c.cfg.RateChangeFraction*c.curRate
+
+	switch {
+	case rateChanged:
+		if err := c.replan(rate, &ev); err != nil {
+			return ev, err
+		}
+		c.rateEWMA.Reset()
+		c.rateEWMA.Observe(rate)
+		// A planning session runs many trial configurations and leaves a
+		// large source backlog behind. Let the final restart complete,
+		// then resume from the latest offsets — production controllers
+		// do the same after maintenance; draining minutes of
+		// experiment-era backlog would otherwise dominate QoS forever.
+		e.Run(30)
+		e.SeekToLatest()
+	case !c.qosOK(m):
+		ev.Action = ActionAlgorithm1
+		ev.Reason = fmt.Sprintf("QoS out of range (latency %.0fms, throughput %.0f rps)",
+			m.ProcLatencyMS, m.ThroughputRPS)
+		a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate))
+		if err != nil {
+			return ev, err
+		}
+		c.storeModel(rate, a1.Model)
+		ev.Par = a1.Best.Par.Clone()
+		e.Run(30)
+		e.SeekToLatest()
+	}
+
+	c.events = append(c.events, ev)
+	return ev, nil
+}
+
+// replan reacts to an input-rate change: re-optimize throughput, then run
+// Algorithm 2 when a previous model exists (else Algorithm 1).
+func (c *Controller) replan(rate float64, ev *Event) error {
+	e := c.engine
+	tr, err := OptimizeThroughput(e, ThroughputOptions{
+		TargetRate: rate,
+		WarmupSec:  c.cfg.PolicyIntervalSec / 2,
+		MeasureSec: c.cfg.PolicyRunningSec,
+	})
+	if err != nil {
+		return err
+	}
+	c.base = tr.Base
+
+	prev, havePrev := c.library.Nearest(rate)
+	if havePrev {
+		ev.Action = ActionAlgorithm2
+		ev.Reason = fmt.Sprintf("rate changed to %.0f rps; transferring from model at %.0f rps",
+			rate, prev.RateRPS)
+		a2, err := RunAlgorithm2(e, c.base, prev.Model, Algorithm2Config{
+			Algorithm1Config: c.algorithm1Config(rate),
+		})
+		if err != nil {
+			return err
+		}
+		c.storeModel(rate, a2.Model)
+		ev.Par = a2.Best.Par.Clone()
+	} else {
+		ev.Action = ActionAlgorithm1
+		ev.Reason = fmt.Sprintf("rate changed to %.0f rps; no prior model", rate)
+		a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate))
+		if err != nil {
+			return err
+		}
+		c.storeModel(rate, a1.Model)
+		ev.Par = a1.Best.Par.Clone()
+	}
+	c.curRate = rate
+	return nil
+}
+
+func (c *Controller) algorithm1Config(rate float64) Algorithm1Config {
+	return Algorithm1Config{
+		TargetRate:      rate,
+		TargetLatencyMS: c.cfg.TargetLatencyMS,
+		Alpha:           c.cfg.Alpha,
+		OverAllocationW: c.cfg.OverAllocationW,
+		Xi:              c.cfg.Xi,
+		BootstrapM:      c.cfg.BootstrapM,
+		MaxIterations:   c.cfg.MaxIterations,
+		WarmupSec:       c.cfg.PolicyIntervalSec / 2,
+		MeasureSec:      c.cfg.PolicyRunningSec,
+		Seed:            c.cfg.Seed,
+	}
+}
+
+func (c *Controller) storeModel(rate float64, model transfer.Predictor) {
+	if model != nil {
+		_ = c.library.Put(rate, model) // rate > 0 guaranteed by caller
+	}
+}
+
+// qosOK checks latency and throughput against targets.
+func (c *Controller) qosOK(m flink.Measurement) bool {
+	if m.ProcLatencyMS > c.cfg.TargetLatencyMS {
+		return false
+	}
+	if m.InputRateRPS > 0 && m.ThroughputRPS < m.InputRateRPS*0.95 && m.LagRecords > m.InputRateRPS {
+		return false
+	}
+	return true
+}
+
+// Run executes Steps until the simulation clock passes untilSec.
+func (c *Controller) Run(untilSec float64) ([]Event, error) {
+	for c.engine.Now() < untilSec {
+		if _, err := c.Step(); err != nil {
+			return c.Events(), err
+		}
+	}
+	return c.Events(), nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"autrascale/internal/dataflow"
+	"autrascale/internal/gp"
+)
+
+// UnifiedModel implements the paper's stated future work ("we plan to
+// investigate efficient methods to unbind benefit models from input data
+// rates"): instead of one benefit model per rate plus a transfer step, a
+// single Gaussian process is fitted over the *joint* (parallelism, rate)
+// space. Every trial at every rate contributes to one surface, so a new
+// rate needs no residual fitting at all — the model interpolates across
+// rates directly.
+//
+// The input encoding appends the rate (scaled to thousands of records/s,
+// so it is commensurate with parallelism coordinates) to the parallelism
+// vector. UnifiedModel is safe for concurrent use.
+type UnifiedModel struct {
+	mu      sync.Mutex
+	numOps  int
+	xs      [][]float64
+	ys      []float64
+	model   *gp.Regressor
+	dirty   bool
+	maxObs  int
+	rateDiv float64
+}
+
+// UnifiedModelConfig configures NewUnifiedModel.
+type UnifiedModelConfig struct {
+	// NumOperators fixes the job's operator count.
+	NumOperators int
+	// MaxObservations bounds memory: beyond it, the oldest observations
+	// are dropped (default 512).
+	MaxObservations int
+	// RateScale divides the rate for the input encoding (default 1000,
+	// i.e. the model sees k-records/s).
+	RateScale float64
+}
+
+// NewUnifiedModel builds an empty joint model.
+func NewUnifiedModel(cfg UnifiedModelConfig) (*UnifiedModel, error) {
+	if cfg.NumOperators < 1 {
+		return nil, errors.New("core: UnifiedModel needs NumOperators >= 1")
+	}
+	if cfg.MaxObservations <= 0 {
+		cfg.MaxObservations = 512
+	}
+	if cfg.RateScale <= 0 {
+		cfg.RateScale = 1000
+	}
+	return &UnifiedModel{
+		numOps:  cfg.NumOperators,
+		maxObs:  cfg.MaxObservations,
+		rateDiv: cfg.RateScale,
+	}, nil
+}
+
+// NumObservations returns the stored sample count.
+func (u *UnifiedModel) NumObservations() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.xs)
+}
+
+// encode builds the GP input for (par, rate).
+func (u *UnifiedModel) encode(par dataflow.ParallelismVector, rateRPS float64) []float64 {
+	x := make([]float64, u.numOps+1)
+	for i, k := range par {
+		x[i] = float64(k)
+	}
+	x[u.numOps] = rateRPS / u.rateDiv
+	return x
+}
+
+// Observe records one (configuration, rate) → score sample.
+func (u *UnifiedModel) Observe(par dataflow.ParallelismVector, rateRPS, score float64) error {
+	if len(par) != u.numOps {
+		return fmt.Errorf("core: UnifiedModel got %d operators, want %d", len(par), u.numOps)
+	}
+	if rateRPS <= 0 {
+		return errors.New("core: UnifiedModel needs rate > 0")
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.xs = append(u.xs, u.encode(par, rateRPS))
+	u.ys = append(u.ys, score)
+	if len(u.xs) > u.maxObs {
+		drop := len(u.xs) - u.maxObs
+		u.xs = append([][]float64(nil), u.xs[drop:]...)
+		u.ys = append([]float64(nil), u.ys[drop:]...)
+	}
+	u.dirty = true
+	return nil
+}
+
+// ObserveTrials records all trials of an Algorithm 1/2 result at a rate.
+func (u *UnifiedModel) ObserveTrials(trials []Trial, rateRPS float64) error {
+	for _, tr := range trials {
+		if err := u.Observe(tr.Par, rateRPS, tr.Score); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refitLocked rebuilds the GP; callers hold the lock.
+func (u *UnifiedModel) refitLocked() error {
+	if !u.dirty && u.model != nil {
+		return nil
+	}
+	if len(u.xs) == 0 {
+		return gp.ErrNoData
+	}
+	m, err := gp.FitAuto(u.xs, u.ys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		return err
+	}
+	u.model = m
+	u.dirty = false
+	return nil
+}
+
+// Predict returns the posterior mean and std of the score for a
+// configuration at a rate — including rates never observed.
+func (u *UnifiedModel) Predict(par dataflow.ParallelismVector, rateRPS float64) (mean, std float64, err error) {
+	if len(par) != u.numOps {
+		return 0, 0, fmt.Errorf("core: UnifiedModel got %d operators, want %d", len(par), u.numOps)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := u.refitLocked(); err != nil {
+		return 0, 0, err
+	}
+	return u.model.PredictStd(u.encode(par, rateRPS))
+}
+
+// At returns a rate-sliced view that satisfies transfer.Predictor, so the
+// unified model can seed Algorithm 1/2 wherever a per-rate benefit model
+// is expected.
+func (u *UnifiedModel) At(rateRPS float64) *RateSlice {
+	return &RateSlice{u: u, rate: rateRPS}
+}
+
+// RateSlice is a fixed-rate view of a UnifiedModel.
+type RateSlice struct {
+	u    *UnifiedModel
+	rate float64
+}
+
+// PredictMean returns the unified model's posterior mean at this slice's
+// rate (0 before any data, matching gp.Regressor's unfitted behavior).
+func (s *RateSlice) PredictMean(x []float64) float64 {
+	mean, _, err := s.u.Predict(dataflow.FromFloats(x), s.rate)
+	if err != nil {
+		return 0
+	}
+	return mean
+}

@@ -1,0 +1,212 @@
+// Package eventsim is a record-level discrete-event simulator of tandem
+// queueing networks: Poisson arrivals flow through a chain of stations,
+// each with c parallel exponential servers and a FIFO queue.
+//
+// Its purpose in this repository is validation. The flink package's
+// analytic flow model and the queueing package's closed-form results
+// (M/M/1, Erlang C, Jackson networks) both make claims about latencies;
+// eventsim checks those claims against an independent simulation that
+// tracks every individual record. The tests in queueing and eventsim
+// assert agreement, which is what lets the DRS baseline's queueing
+// predictions and the simulator's latency surfaces be trusted.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"autrascale/internal/stat"
+)
+
+// Station is one service stage: Servers parallel exponential servers with
+// mean service time MeanServiceSec.
+type Station struct {
+	Servers        int
+	MeanServiceSec float64
+}
+
+// Config configures Simulate.
+type Config struct {
+	// Stations in visit order (a tandem network).
+	Stations []Station
+	// ArrivalRateRPS is the Poisson arrival rate into station 0.
+	ArrivalRateRPS float64
+	// Records is the number of records to push through (after warm-up).
+	Records int
+	// WarmupRecords are simulated first and excluded from statistics
+	// (default: 10% of Records).
+	WarmupRecords int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Result aggregates the per-record measurements.
+type Result struct {
+	Completed        int
+	MeanSojournSec   float64
+	P50SojournSec    float64
+	P95SojournSec    float64
+	MeanWaitSec      []float64 // queue wait per station
+	ThroughputRPS    float64   // completed / makespan
+	SimulatedTimeSec float64
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at      float64
+	kind    int
+	record  int
+	station int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type stationState struct {
+	busy  int
+	queue []arrival // FIFO of waiting records
+}
+
+type arrival struct {
+	record int
+	at     float64
+}
+
+// Simulate runs the network to completion and returns the statistics.
+func Simulate(cfg Config) (Result, error) {
+	if len(cfg.Stations) == 0 {
+		return Result{}, errors.New("eventsim: need at least one station")
+	}
+	for i, s := range cfg.Stations {
+		if s.Servers < 1 || s.MeanServiceSec <= 0 {
+			return Result{}, fmt.Errorf("eventsim: station %d invalid (%+v)", i, s)
+		}
+	}
+	if cfg.ArrivalRateRPS <= 0 {
+		return Result{}, errors.New("eventsim: arrival rate must be > 0")
+	}
+	if cfg.Records < 1 {
+		return Result{}, errors.New("eventsim: need at least one record")
+	}
+	warmup := cfg.WarmupRecords
+	if warmup == 0 {
+		warmup = cfg.Records / 10
+	}
+	total := cfg.Records + warmup
+
+	// Stability check: an unstable station would run forever.
+	for i, s := range cfg.Stations {
+		if cfg.ArrivalRateRPS >= float64(s.Servers)/s.MeanServiceSec {
+			return Result{}, fmt.Errorf("eventsim: station %d unstable at %v rps", i, cfg.ArrivalRateRPS)
+		}
+	}
+
+	rng := stat.NewRNG(cfg.Seed ^ 0x5e17_ab4d_9c21_77f1)
+	n := len(cfg.Stations)
+	stations := make([]stationState, n)
+	entered := make([]float64, total)   // time of arrival into the network
+	stationIn := make([]float64, total) // arrival time at the current station
+	waitSums := make([]float64, n)      // measured queue waits
+	waitCounts := make([]int, n)
+	var sojourns []float64
+
+	h := &eventHeap{}
+	// Pre-schedule all external arrivals.
+	t := 0.0
+	for r := 0; r < total; r++ {
+		t += rng.Exp(cfg.ArrivalRateRPS)
+		heap.Push(h, event{at: t, kind: evArrival, record: r, station: 0})
+	}
+
+	startService := func(st int, rec int, now float64) {
+		stations[st].busy++
+		if rec >= warmup {
+			waitSums[st] += now - stationIn[rec]
+			waitCounts[st]++
+		}
+		service := rng.Exp(1 / cfg.Stations[st].MeanServiceSec)
+		heap.Push(h, event{at: now + service, kind: evDeparture, record: rec, station: st})
+	}
+
+	var now float64
+	completed := 0
+	var firstDone, lastDone float64
+	for h.Len() > 0 {
+		e := heap.Pop(h).(event)
+		now = e.at
+		switch e.kind {
+		case evArrival:
+			if e.station == 0 {
+				entered[e.record] = now
+			}
+			stationIn[e.record] = now
+			st := &stations[e.station]
+			if st.busy < cfg.Stations[e.station].Servers {
+				startService(e.station, e.record, now)
+			} else {
+				st.queue = append(st.queue, arrival{record: e.record, at: now})
+			}
+		case evDeparture:
+			st := &stations[e.station]
+			st.busy--
+			if len(st.queue) > 0 {
+				next := st.queue[0]
+				st.queue = st.queue[1:]
+				startService(e.station, next.record, now)
+			}
+			if e.station+1 < n {
+				heap.Push(h, event{at: now, kind: evArrival, record: e.record, station: e.station + 1})
+			} else {
+				if e.record >= warmup {
+					sojourns = append(sojourns, now-entered[e.record])
+					if completed == 0 {
+						firstDone = now
+					}
+					lastDone = now
+					completed++
+				}
+			}
+		}
+	}
+
+	res := Result{
+		Completed:        completed,
+		SimulatedTimeSec: now,
+		MeanWaitSec:      make([]float64, n),
+	}
+	if completed > 0 {
+		res.MeanSojournSec = stat.Mean(sojourns)
+		res.P50SojournSec = stat.Percentile(sojourns, 50)
+		res.P95SojournSec = stat.Percentile(sojourns, 95)
+		if span := lastDone - firstDone; span > 0 && completed > 1 {
+			res.ThroughputRPS = float64(completed-1) / span
+		}
+	}
+	for i := 0; i < n; i++ {
+		if waitCounts[i] > 0 {
+			res.MeanWaitSec[i] = waitSums[i] / float64(waitCounts[i])
+		}
+	}
+	if math.IsNaN(res.MeanSojournSec) {
+		return res, errors.New("eventsim: NaN sojourn (internal error)")
+	}
+	return res, nil
+}

@@ -1,0 +1,170 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"autrascale/internal/queueing"
+)
+
+func TestValidation(t *testing.T) {
+	ok := Config{Stations: []Station{{Servers: 1, MeanServiceSec: 0.5}},
+		ArrivalRateRPS: 1, Records: 10}
+	cases := []func(Config) Config{
+		func(c Config) Config { c.Stations = nil; return c },
+		func(c Config) Config { c.Stations = []Station{{Servers: 0, MeanServiceSec: 1}}; return c },
+		func(c Config) Config { c.Stations = []Station{{Servers: 1, MeanServiceSec: 0}}; return c },
+		func(c Config) Config { c.ArrivalRateRPS = 0; return c },
+		func(c Config) Config { c.Records = 0; return c },
+		func(c Config) Config { c.ArrivalRateRPS = 2; return c }, // rho = 1: unstable
+	}
+	for i, mutate := range cases {
+		if _, err := Simulate(mutate(ok)); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+	if _, err := Simulate(ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllRecordsComplete(t *testing.T) {
+	res, err := Simulate(Config{
+		Stations:       []Station{{Servers: 2, MeanServiceSec: 0.1}, {Servers: 1, MeanServiceSec: 0.05}},
+		ArrivalRateRPS: 5,
+		Records:        500,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 500 {
+		t.Fatalf("completed = %d, want 500", res.Completed)
+	}
+	if res.MeanSojournSec <= 0 || res.P95SojournSec < res.P50SojournSec {
+		t.Fatalf("bad sojourn stats: %+v", res)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v", res.ThroughputRPS)
+	}
+}
+
+// Cross-validation against the closed-form M/M/1 sojourn: lambda=8, mu=10
+// → E[T] = 1/(mu−lambda) = 0.5 s.
+func TestMM1SojournMatchesTheory(t *testing.T) {
+	res, err := Simulate(Config{
+		Stations:       []Station{{Servers: 1, MeanServiceSec: 0.1}},
+		ArrivalRateRPS: 8,
+		Records:        40000,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.MM1Sojourn(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.MeanSojournSec-want) / want; rel > 0.08 {
+		t.Fatalf("M/M/1 sojourn = %v, theory %v (rel err %.2f)", res.MeanSojournSec, want, rel)
+	}
+}
+
+// Cross-validation against Erlang C: M/M/3 with lambda=2.5, mu=1.
+func TestMMcWaitMatchesErlangC(t *testing.T) {
+	res, err := Simulate(Config{
+		Stations:       []Station{{Servers: 3, MeanServiceSec: 1}},
+		ArrivalRateRPS: 2.5,
+		Records:        40000,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := queueing.MMcWait(2.5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.MeanWaitSec[0]
+	if rel := math.Abs(got-want) / want; rel > 0.1 {
+		t.Fatalf("M/M/3 wait = %v, Erlang C %v (rel err %.2f)", got, want, rel)
+	}
+}
+
+// Cross-validation against the Jackson tandem-network sojourn.
+func TestTandemMatchesJackson(t *testing.T) {
+	stations := []Station{
+		{Servers: 1, MeanServiceSec: 0.08},
+		{Servers: 2, MeanServiceSec: 0.25},
+		{Servers: 1, MeanServiceSec: 0.05},
+	}
+	res, err := Simulate(Config{
+		Stations:       stations,
+		ArrivalRateRPS: 6,
+		Records:        40000,
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]queueing.Station, len(stations))
+	lambdas := make([]float64, len(stations))
+	for i, s := range stations {
+		qs[i] = queueing.Station{Servers: s.Servers, Mu: 1 / s.MeanServiceSec}
+		lambdas[i] = 6
+	}
+	want, err := queueing.JacksonSojourn(qs, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.MeanSojournSec-want) / want; rel > 0.1 {
+		t.Fatalf("tandem sojourn = %v, Jackson %v (rel err %.2f)", res.MeanSojournSec, want, rel)
+	}
+}
+
+// Determinism: the same seed reproduces the run exactly.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Stations:       []Station{{Servers: 2, MeanServiceSec: 0.2}},
+		ArrivalRateRPS: 5,
+		Records:        2000,
+		Seed:           9,
+	}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanSojournSec != b.MeanSojournSec || a.P95SojournSec != b.P95SojournSec {
+		t.Fatal("same seed must reproduce identical results")
+	}
+}
+
+// Pooling sanity: doubling servers at fixed utilization reduces waiting.
+func TestPoolingEffect(t *testing.T) {
+	small, err := Simulate(Config{
+		Stations:       []Station{{Servers: 2, MeanServiceSec: 1}},
+		ArrivalRateRPS: 1.6,
+		Records:        30000,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(Config{
+		Stations:       []Station{{Servers: 4, MeanServiceSec: 1}},
+		ArrivalRateRPS: 3.2,
+		Records:        30000,
+		Seed:           6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MeanWaitSec[0] >= small.MeanWaitSec[0] {
+		t.Fatalf("pooling should reduce wait: c=2 %v vs c=4 %v",
+			small.MeanWaitSec[0], big.MeanWaitSec[0])
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import "testing"
+
+// The ablations back DESIGN.md's claims about which ingredient does what:
+// transfer (and the unified model) cut real runs versus from-scratch BO;
+// the observed-rate metric massively over-provisions; every kernel family
+// predicts the benefit surface usably.
+func TestAblationShape(t *testing.T) {
+	res, err := RunAblation(AblationOptions{Seed: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transfer ablation: 3 strategies, QoS met by all, and both
+	// warm-start strategies use strictly fewer real runs than scratch.
+	if len(res.Transfer) != 3 {
+		t.Fatalf("transfer rows = %d", len(res.Transfer))
+	}
+	var scratch, transfer, unified *TransferAblationRow
+	for i := range res.Transfer {
+		switch res.Transfer[i].Strategy {
+		case "Algorithm1 (scratch)":
+			scratch = &res.Transfer[i]
+		case "Algorithm2 (transfer)":
+			transfer = &res.Transfer[i]
+		case "UnifiedModel (future work)":
+			unified = &res.Transfer[i]
+		}
+		if !res.Transfer[i].Met {
+			t.Fatalf("%s misses QoS", res.Transfer[i].Strategy)
+		}
+	}
+	if scratch == nil || transfer == nil || unified == nil {
+		t.Fatal("missing strategies")
+	}
+	if transfer.RealRuns >= scratch.RealRuns {
+		t.Fatalf("transfer (%d runs) should beat scratch (%d runs)",
+			transfer.RealRuns, scratch.RealRuns)
+	}
+	if unified.RealRuns >= scratch.RealRuns {
+		t.Fatalf("unified (%d runs) should beat scratch (%d runs)",
+			unified.RealRuns, scratch.RealRuns)
+	}
+	// All strategies should land on similar-size configurations.
+	if transfer.Total > scratch.Total+4 || unified.Total > scratch.Total+4 {
+		t.Fatalf("warm starts should not balloon: scratch=%d transfer=%d unified=%d",
+			scratch.Total, transfer.Total, unified.Total)
+	}
+
+	// Metric ablation: observed rates over-provision far more than true
+	// rates from an over-provisioned start.
+	if len(res.Metric) != 2 {
+		t.Fatalf("metric rows = %d", len(res.Metric))
+	}
+	var trueRow, obsRow *MetricAblationRow
+	for i := range res.Metric {
+		if res.Metric[i].Metric == "true rate" {
+			trueRow = &res.Metric[i]
+		} else {
+			obsRow = &res.Metric[i]
+		}
+	}
+	if trueRow == nil || obsRow == nil {
+		t.Fatal("missing metric rows")
+	}
+	if obsRow.OverProvision < 2*trueRow.OverProvision {
+		t.Fatalf("observed-rate sizing should over-provision far more: true=%+.0f%% observed=%+.0f%%",
+			100*trueRow.OverProvision, 100*obsRow.OverProvision)
+	}
+	if trueRow.OverProvision > 0.5 {
+		t.Fatalf("true-rate sizing should be near-optimal, got %+.0f%%", 100*trueRow.OverProvision)
+	}
+
+	// Kernel ablation: all three families predict usably.
+	if len(res.Kernel) != 3 {
+		t.Fatalf("kernel rows = %d", len(res.Kernel))
+	}
+	for _, k := range res.Kernel {
+		if k.MeanAbs <= 0 || k.MeanAbs > 0.2 {
+			t.Fatalf("%s: mean |err| = %v out of (0, 0.2]", k.Kernel, k.MeanAbs)
+		}
+		if k.MaxAbs < k.MeanAbs {
+			t.Fatalf("%s: max < mean", k.Kernel)
+		}
+	}
+
+	if len(res.Render()) != 3 {
+		t.Fatal("Render should produce 3 tables")
+	}
+}

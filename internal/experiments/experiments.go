@@ -1,0 +1,113 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V) on the simulated testbed:
+//
+//	Fig. 1  — fixed parallelism, increasing input rate (CASE 1)
+//	Fig. 2  — fixed rate, increasing uniform parallelism (CASE 2)
+//	Fig. 5  — throughput optimization per workload + the Yahoo trace
+//	Tab. II — elasticity at a steady rate, scale-up
+//	Tab. III— elasticity at a steady rate, scale-down
+//	Fig. 6  — terminal-configuration latency per method
+//	Fig. 7  — terminal-configuration parallelism per method
+//	Fig. 8  — transfer learning vs DS2 on a rate change (Nexmark)
+//	Tab. IV — algorithm CPU overhead vs operator count
+//
+// Each experiment returns a structured result plus Render() tables, so
+// the cmd/experiments binary, the benchmark harness, and the tests all
+// consume the same code path. Absolute numbers differ from the paper
+// (different substrate); the experiments' shape assertions live in the
+// package tests and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a renderable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case bool:
+			if v {
+				row[i] = "yes"
+			} else {
+				row[i] = "no"
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Renderable is any experiment result that can print itself.
+type Renderable interface {
+	Render() []Table
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"a", "bee"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", true)
+	tb.AddRow(350e3, 0.0)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "bee") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "350.0k") {
+		t.Fatalf("large numbers should be k-formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Fatalf("bool formatting missing:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		2.5:    "2.50",
+		150:    "150",
+		34000:  "34.0k",
+		2.5e6:  "2.50M",
+		9999.9: "10000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

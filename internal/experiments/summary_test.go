@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// The summary is the repo's own referee: every headline claim of the
+// paper must hold in this reproduction.
+func TestSummaryAllClaimsHold(t *testing.T) {
+	res, err := RunSummary(SummaryOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Claims) < 9 {
+		t.Fatalf("only %d claims graded", len(res.Claims))
+	}
+	for _, c := range res.Claims {
+		if !c.Holds {
+			t.Errorf("claim %s (%s): paper %q, measured %q — does not hold",
+				c.ID, c.Claim, c.Paper, c.Measured)
+		}
+	}
+	if !res.Holds() && !t.Failed() {
+		t.Fatal("Holds() inconsistent with claims")
+	}
+	if len(res.Render()) != 1 {
+		t.Fatal("Render should produce one table")
+	}
+}

@@ -1,0 +1,610 @@
+// Package flink is a deterministic discrete-time simulator of a stream
+// processing system, standing in for the paper's Flink 1.10 + YARN
+// testbed. It simulates a job (a dataflow.Graph) running on a
+// cluster.Cluster, consuming from a kafka.Topic, and exposes exactly the
+// observable surface the AuTraScale/DS2/DRS controllers need:
+//
+//   - true processing rate per operator instance (busy-time based, DS2's
+//     metric, paper Eq. 2),
+//   - observed processing rate (includes waiting, i.e. actual throughput
+//     per instance),
+//   - job throughput, processing latency, event-time latency, Kafka lag,
+//   - CPU/memory usage for Fig. 8(c) accounting.
+//
+// # Performance model
+//
+// The per-instance true rate of operator i at parallelism k is a
+// Universal-Scalability-Law curve scaled by cluster interference:
+//
+//	v_i(k) = BaseRate_i / (1 + σ_i·(k−1) + κ_i·k·(k−1)) · I(demand)
+//
+// where I is cluster.InterferenceFactor of the total provisioned CPU
+// demand. σ captures synchronization between instances and κ cross-talk;
+// together they produce the paper's Observation 2.1 (non-linear
+// throughput scaling). Operators with ExternalCapRPS (the Yahoo
+// benchmark's Redis) additionally have their *total* rate capped.
+//
+// Flink's credit-based backpressure keeps internal queues bounded and
+// pushes accumulation back to Kafka, so the simulator routes all standing
+// data into topic lag: per tick the source consumes
+// min(input available, job bottleneck capacity).
+//
+// Latency per operator = fixed cost + queueing delay rising with
+// utilization + communication cost growing linearly in parallelism
+// (Observation 2.2). Event-time latency adds the Kafka pending time.
+package flink
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autrascale/internal/cluster"
+	"autrascale/internal/dataflow"
+	"autrascale/internal/kafka"
+	"autrascale/internal/metrics"
+	"autrascale/internal/stat"
+)
+
+// Config configures an Engine.
+type Config struct {
+	Graph   *dataflow.Graph
+	Cluster *cluster.Cluster
+	Topic   *kafka.Topic
+	// Store receives per-tick metrics; optional.
+	Store *metrics.Store
+	// JobName tags metrics; defaults to the graph name.
+	JobName string
+	// Seed drives measurement noise; the same seed reproduces a run
+	// exactly.
+	Seed uint64
+	// TickSec is the simulation step (default 1s).
+	TickSec float64
+	// RestartDowntimeSec is the savepoint-stop-restart outage when the
+	// parallelism changes (default 10s) — §IV Execute.
+	RestartDowntimeSec float64
+	// RateNoise is the relative std-dev of per-tick rate jitter
+	// (default 0.01). Zero noise is allowed via NoNoise.
+	RateNoise float64
+	// NoNoise disables all stochastic jitter.
+	NoNoise bool
+	// InitialParallelism is the starting configuration (default all 1).
+	InitialParallelism dataflow.ParallelismVector
+}
+
+// Engine is the simulator instance for one job.
+type Engine struct {
+	graph   *dataflow.Graph
+	cluster *cluster.Cluster
+	topic   *kafka.Topic
+	store   *metrics.Store
+	jobName string
+	rng     *stat.RNG
+
+	tickSec     float64
+	downtimeSec float64
+	rateNoise   float64
+
+	par          dataflow.ParallelismVector
+	arrivalFac   []float64 // records arriving at op i per source record
+	nowSec       float64
+	restartUntil float64
+	restarts     int
+
+	// Per-tick state (recomputed every Tick, kept for Measure).
+	lastThroughput   float64
+	lastProcLatency  float64
+	lastEventLatency float64
+	lastTrueRates    []float64 // per-instance, per operator
+	lastObserved     []float64
+	lastLambda       []float64
+	lastUtil         []float64
+	lastCPUUsed      float64
+
+	// Window accumulators since the last Reconfigure/ResetWindow.
+	win windowAccum
+}
+
+type windowAccum struct {
+	ticks          int
+	throughput     float64
+	procLatency    float64
+	eventLatency   float64
+	cpuUsed        float64
+	trueRates      []float64
+	observed       []float64
+	lambda         []float64
+	latencySamples []float64
+}
+
+// Measurement is the aggregate view of a measurement window — what the
+// Monitor/Analyze stages hand to the policies.
+type Measurement struct {
+	Par           dataflow.ParallelismVector
+	WindowSec     float64
+	InputRateRPS  float64 // scheduled input rate at measurement end
+	ThroughputRPS float64 // mean source consumption rate
+	ProcLatencyMS float64 // mean processing latency
+	EventLatMS    float64 // mean event-time latency (incl. Kafka pending)
+	LagRecords    float64 // lag at measurement end
+	// TrueRatePerInstance[i] is v̄_i: the mean busy-time processing rate
+	// of one instance of operator i (op-input records/s).
+	TrueRatePerInstance []float64
+	// ObservedRatePerInstance[i] includes waiting time (actual records
+	// processed per wall second per instance).
+	ObservedRatePerInstance []float64
+	// LambdaRPS[i] is the total arrival rate at operator i.
+	LambdaRPS []float64
+	// CPUUsedCores / MemUsedMB for resource accounting.
+	CPUUsedCores float64
+	MemUsedMB    float64
+	// LatencySamples are per-record processing latencies drawn during
+	// the window (for distribution plots, Fig. 8b).
+	LatencySamples []float64
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil || cfg.Cluster == nil || cfg.Topic == nil {
+		return nil, errors.New("flink: Graph, Cluster and Topic are required")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Graph.Sources()) != 1 {
+		return nil, fmt.Errorf("flink: engine supports exactly one source operator, got %d", len(cfg.Graph.Sources()))
+	}
+	n := cfg.Graph.NumOperators()
+	tick := cfg.TickSec
+	if tick <= 0 {
+		tick = 1
+	}
+	down := cfg.RestartDowntimeSec
+	if down == 0 {
+		down = 10
+	}
+	noise := cfg.RateNoise
+	if noise == 0 {
+		noise = 0.01
+	}
+	if cfg.NoNoise {
+		noise = 0
+	}
+	name := cfg.JobName
+	if name == "" {
+		name = cfg.Graph.Name
+	}
+	par := cfg.InitialParallelism
+	if par == nil {
+		par = dataflow.Uniform(n, 1)
+	}
+	if err := par.Validate(cfg.Cluster.MaxParallelism()); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		graph:       cfg.Graph,
+		cluster:     cfg.Cluster,
+		topic:       cfg.Topic,
+		store:       cfg.Store,
+		jobName:     name,
+		rng:         stat.NewRNG(cfg.Seed ^ 0x9d5c_1fd3_0b77_4c2b),
+		tickSec:     tick,
+		downtimeSec: down,
+		rateNoise:   noise,
+		par:         par.Clone(),
+	}
+	e.arrivalFac = arrivalFactors(cfg.Graph)
+	e.resetWindow()
+	return e, nil
+}
+
+// arrivalFactors computes a_i: records arriving at operator i per source
+// record, propagating selectivity along the DAG in topological order.
+func arrivalFactors(g *dataflow.Graph) []float64 {
+	n := g.NumOperators()
+	a := make([]float64, n)
+	for _, src := range g.Sources() {
+		a[src] = 1
+	}
+	for _, i := range g.TopoOrder() {
+		out := a[i] * g.Operator(i).Selectivity
+		for _, s := range g.Successors(i) {
+			a[s] += out
+		}
+	}
+	return a
+}
+
+// Graph returns the job graph.
+func (e *Engine) Graph() *dataflow.Graph { return e.graph }
+
+// Cluster returns the cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Topic returns the source topic.
+func (e *Engine) Topic() *kafka.Topic { return e.topic }
+
+// JobName returns the metric tag for this job.
+func (e *Engine) JobName() string { return e.jobName }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.nowSec }
+
+// Restarts returns how many reconfigurations have happened.
+func (e *Engine) Restarts() int { return e.restarts }
+
+// Parallelism returns the active configuration.
+func (e *Engine) Parallelism() dataflow.ParallelismVector { return e.par.Clone() }
+
+// SetParallelism reconfigures the job. If the configuration changes, the
+// job incurs the savepoint/restart downtime and the measurement window
+// resets (§IV: metrics during restart are ignored).
+func (e *Engine) SetParallelism(p dataflow.ParallelismVector) error {
+	if len(p) != e.graph.NumOperators() {
+		return fmt.Errorf("flink: parallelism has %d entries, graph has %d operators",
+			len(p), e.graph.NumOperators())
+	}
+	if err := p.Validate(e.cluster.MaxParallelism()); err != nil {
+		return err
+	}
+	if p.Equal(e.par) {
+		return nil
+	}
+	e.par = p.Clone()
+	e.restartUntil = e.nowSec + e.downtimeSec
+	e.restarts++
+	e.resetWindow()
+	return nil
+}
+
+func (e *Engine) resetWindow() {
+	n := e.graph.NumOperators()
+	e.win = windowAccum{
+		trueRates: make([]float64, n),
+		observed:  make([]float64, n),
+		lambda:    make([]float64, n),
+	}
+}
+
+// ResetWindow clears the measurement accumulators without reconfiguring —
+// used to discard warm-up samples.
+func (e *Engine) ResetWindow() { e.resetWindow() }
+
+// noiseFactor returns a multiplicative jitter around 1.
+func (e *Engine) noiseFactor() float64 {
+	if e.rateNoise == 0 {
+		return 1
+	}
+	f := 1 + e.rng.NormalMS(0, e.rateNoise)
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 1.5 {
+		f = 1.5
+	}
+	return f
+}
+
+// perInstanceRate returns the true per-instance processing rate of
+// operator i under the current configuration and cluster interference
+// factor, in op-input records/s, without measurement noise.
+func (e *Engine) perInstanceRate(i int, interference float64) float64 {
+	op := e.graph.Operator(i)
+	k := float64(e.par[i])
+	p := op.Profile
+	usl := 1 + p.SyncCost*(k-1) + p.CrossCost*k*(k-1)
+	rate := p.BaseRatePerInstance / usl * interference
+	if p.ExternalCapRPS > 0 {
+		total := rate * k
+		if total > p.ExternalCapRPS {
+			rate = p.ExternalCapRPS / k
+		}
+	}
+	return rate
+}
+
+// cpuDemand is the CPU demand (core-equivalents) the configuration places
+// on the cluster, weighted by each operator's utilization from the
+// previous tick: a busy instance burns its full CPUPerInstance, an idle
+// one only its polling floor (~10%). Before the first measurement the
+// conservative assumption is fully-busy. Utilization lags one tick, which
+// acts as a damped fixed-point iteration for the circular
+// demand→interference→capacity→utilization dependency.
+func (e *Engine) cpuDemand() float64 {
+	const idleFloor = 0.1
+	var d float64
+	for i := 0; i < e.graph.NumOperators(); i++ {
+		u := 1.0
+		if len(e.lastUtil) == e.graph.NumOperators() && e.lastThroughput > 0 {
+			u = e.lastUtil[i]
+			if u < idleFloor {
+				u = idleFloor
+			}
+			if u > 1 {
+				u = 1
+			}
+		}
+		d += float64(e.par[i]) * e.graph.Operator(i).Profile.CPUPerInstance * u
+	}
+	return d
+}
+
+// Tick advances the simulation by one step.
+func (e *Engine) Tick() {
+	dt := e.tickSec
+	e.topic.Produce(e.nowSec, dt)
+	e.nowSec += dt
+
+	n := e.graph.NumOperators()
+	if e.nowSec <= e.restartUntil {
+		// Job is down for savepoint/restart: nothing is consumed, lag
+		// grows, no metrics are recorded (the paper ignores metrics
+		// during the restart phase).
+		e.lastThroughput = 0
+		return
+	}
+
+	interference := e.cluster.InterferenceFactor(e.cpuDemand())
+
+	// Capacity per operator in op-input records/s, and the job bottleneck
+	// expressed in source records/s.
+	trueRates := make([]float64, n) // per instance
+	capSource := math.Inf(1)
+	for i := 0; i < n; i++ {
+		r := e.perInstanceRate(i, interference) * e.noiseFactor()
+		trueRates[i] = r
+		total := r * float64(e.par[i])
+		if e.arrivalFac[i] > 0 {
+			if c := total / e.arrivalFac[i]; c < capSource {
+				capSource = c
+			}
+		}
+	}
+
+	// Source pulls min(bottleneck capacity, available) from Kafka.
+	pulled := e.topic.Consume(capSource * dt)
+	throughput := pulled / dt
+
+	// Arrivals, utilizations, latency.
+	lambda := make([]float64, n)
+	observed := make([]float64, n)
+	util := make([]float64, n)
+	var procLatency float64
+	for i := 0; i < n; i++ {
+		lambda[i] = throughput * e.arrivalFac[i]
+		totalCap := trueRates[i] * float64(e.par[i])
+		processed := lambda[i]
+		if processed > totalCap {
+			processed = totalCap
+		}
+		observed[i] = processed / float64(e.par[i])
+		if totalCap > 0 {
+			util[i] = lambda[i] / totalCap
+		}
+		procLatency += e.operatorLatencyMS(i, trueRates[i], util[i])
+	}
+	if e.rateNoise > 0 {
+		procLatency *= e.noiseFactor()
+	}
+
+	pending := e.topic.PendingTimeSec(throughput)
+	eventLatency := procLatency
+	if math.IsInf(pending, 1) {
+		eventLatency = math.MaxFloat64
+	} else {
+		eventLatency += pending * 1000
+	}
+
+	cpuUsed := e.cpuUsed(util)
+
+	e.lastThroughput = throughput
+	e.lastProcLatency = procLatency
+	e.lastEventLatency = eventLatency
+	e.lastTrueRates = trueRates
+	e.lastObserved = observed
+	e.lastLambda = lambda
+	e.lastUtil = util
+	e.lastCPUUsed = cpuUsed
+
+	// Accumulate window stats.
+	w := &e.win
+	w.ticks++
+	w.throughput += throughput
+	w.procLatency += procLatency
+	w.eventLatency += eventLatency
+	w.cpuUsed += cpuUsed
+	for i := 0; i < n; i++ {
+		w.trueRates[i] += trueRates[i]
+		w.observed[i] += observed[i]
+		w.lambda[i] += lambda[i]
+	}
+	// One per-record latency sample per tick keeps distributions cheap.
+	sample := procLatency
+	if e.rateNoise > 0 {
+		sample *= e.rng.LogNormal(0, 0.2)
+	}
+	w.latencySamples = append(w.latencySamples, sample)
+
+	e.recordMetrics(trueRates, observed, throughput, procLatency, eventLatency)
+}
+
+// operatorLatencyMS returns the latency contribution of operator i:
+// fixed + service + queueing + communication cost.
+func (e *Engine) operatorLatencyMS(i int, perInstRate, util float64) float64 {
+	p := e.graph.Operator(i).Profile
+	lat := p.FixedLatencyMS
+	if perInstRate > 0 {
+		lat += 1000 / perInstRate // service time of one record
+	}
+	if p.QueueScaleMS > 0 && util > 0 {
+		// Credit-based backpressure bounds standing queues, so the
+		// M/M/1-style congestion factor saturates at the operator's
+		// buffer budget instead of diverging.
+		maxCongestion := p.MaxCongestion
+		if maxCongestion == 0 {
+			maxCongestion = 25
+		}
+		u := util
+		if u > 1 {
+			u = 1
+		}
+		f := maxCongestion
+		if u < 1 {
+			f = u / (1 - u)
+			if f > maxCongestion {
+				f = maxCongestion
+			}
+		}
+		lat += p.QueueScaleMS * f
+	}
+	if p.StateCostMS > 0 {
+		lat += p.StateCostMS / float64(e.par[i])
+	}
+	lat += p.CommCostPerParallelism * float64(e.par[i])
+	return lat
+}
+
+// cpuUsed estimates cores in use: busy instances burn their full
+// CPUPerInstance scaled by utilization, idle slots still poll (~10%).
+func (e *Engine) cpuUsed(util []float64) float64 {
+	var used float64
+	for i := 0; i < e.graph.NumOperators(); i++ {
+		p := e.graph.Operator(i).Profile
+		u := util[i]
+		if u < 0.1 {
+			u = 0.1
+		}
+		if u > 1 {
+			u = 1
+		}
+		used += float64(e.par[i]) * p.CPUPerInstance * u
+	}
+	return used
+}
+
+// MemUsedMB returns the managed memory held by the current slots.
+func (e *Engine) MemUsedMB() float64 {
+	var mem float64
+	for i := 0; i < e.graph.NumOperators(); i++ {
+		mem += float64(e.par[i]) * e.graph.Operator(i).Profile.MemPerInstanceMB
+	}
+	return mem
+}
+
+func (e *Engine) recordMetrics(trueRates, observed []float64, throughput, procLat, eventLat float64) {
+	if e.store == nil {
+		return
+	}
+	jobTags := map[string]string{"job": e.jobName}
+	e.store.MustRecord(metrics.MetricThroughput, jobTags, e.nowSec, throughput)
+	e.store.MustRecord(metrics.MetricLatencyMS, jobTags, e.nowSec, procLat)
+	e.store.MustRecord(metrics.MetricEventTimeLatencyMS, jobTags, e.nowSec, eventLat)
+	e.store.MustRecord(metrics.MetricKafkaLag, jobTags, e.nowSec, e.topic.Lag())
+	for i := 0; i < e.graph.NumOperators(); i++ {
+		opTags := map[string]string{
+			"job":      e.jobName,
+			"operator": e.graph.Operator(i).Name,
+		}
+		e.store.MustRecord(metrics.MetricTrueProcessingRate, opTags, e.nowSec, trueRates[i])
+		e.store.MustRecord(metrics.MetricObservedRate, opTags, e.nowSec, observed[i])
+		e.store.MustRecord(metrics.MetricInputRate, opTags, e.nowSec, e.lastLambda[i])
+	}
+}
+
+// Run advances the simulation by the given number of seconds.
+func (e *Engine) Run(seconds float64) {
+	steps := int(seconds/e.tickSec + 0.5)
+	for i := 0; i < steps; i++ {
+		e.Tick()
+	}
+}
+
+// Measure aggregates the accumulated window into a Measurement. It does
+// not reset the window.
+func (e *Engine) Measure() Measurement {
+	n := e.graph.NumOperators()
+	m := Measurement{
+		Par:                     e.par.Clone(),
+		InputRateRPS:            e.topic.InputRateAt(e.nowSec),
+		LagRecords:              e.topic.Lag(),
+		TrueRatePerInstance:     make([]float64, n),
+		ObservedRatePerInstance: make([]float64, n),
+		LambdaRPS:               make([]float64, n),
+		MemUsedMB:               e.MemUsedMB(),
+	}
+	w := &e.win
+	if w.ticks == 0 {
+		return m
+	}
+	t := float64(w.ticks)
+	m.WindowSec = t * e.tickSec
+	m.ThroughputRPS = w.throughput / t
+	m.ProcLatencyMS = w.procLatency / t
+	m.EventLatMS = w.eventLatency / t
+	m.CPUUsedCores = w.cpuUsed / t
+	for i := 0; i < n; i++ {
+		m.TrueRatePerInstance[i] = w.trueRates[i] / t
+		m.ObservedRatePerInstance[i] = w.observed[i] / t
+		m.LambdaRPS[i] = w.lambda[i] / t
+	}
+	m.LatencySamples = append([]float64(nil), w.latencySamples...)
+	return m
+}
+
+// FailMachine takes a worker machine down: its slots fail over to the
+// surviving machines (capacity shrinks, oversubscription-driven
+// interference rises) and the job incurs a restart while Flink
+// redeploys. Recover with RecoverMachine.
+func (e *Engine) FailMachine(name string) error {
+	if err := e.cluster.SetMachineDown(name, true); err != nil {
+		return err
+	}
+	e.restartUntil = e.nowSec + e.downtimeSec
+	e.restarts++
+	e.resetWindow()
+	return nil
+}
+
+// RecoverMachine brings a failed machine back; the job restarts once more
+// as slots rebalance.
+func (e *Engine) RecoverMachine(name string) error {
+	if err := e.cluster.SetMachineDown(name, false); err != nil {
+		return err
+	}
+	e.restartUntil = e.nowSec + e.downtimeSec
+	e.restarts++
+	e.resetWindow()
+	return nil
+}
+
+// SeekToLatest drops the source backlog (consumer jumps to the log head)
+// and returns the number of records skipped. Trial-based evaluation uses
+// this so each configuration is measured at steady state for the current
+// input rate rather than while draining history from previous trials.
+func (e *Engine) SeekToLatest() float64 {
+	return e.topic.SeekToLatest()
+}
+
+// RunAndMeasure is the "policy running time" primitive from §IV: run a
+// warm-up, reset the window, run the measurement phase, and return the
+// aggregate.
+func (e *Engine) RunAndMeasure(warmupSec, measureSec float64) Measurement {
+	e.Run(warmupSec)
+	e.resetWindow()
+	e.Run(measureSec)
+	return e.Measure()
+}
+
+// MeasureSteady evaluates the *steady-state* QoS of the current
+// configuration: run the warm-up (absorbing any restart downtime), drop
+// the backlog accumulated so far, then measure a clean window. This is
+// how trial-based policies (Algorithm 1/2, DRS, DS2 offline) judge a
+// candidate configuration without penalizing it for history it did not
+// cause. The warm-up must exceed the restart downtime.
+func (e *Engine) MeasureSteady(warmupSec, measureSec float64) Measurement {
+	e.Run(warmupSec)
+	e.SeekToLatest()
+	e.resetWindow()
+	e.Run(measureSec)
+	return e.Measure()
+}

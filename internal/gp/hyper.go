@@ -1,0 +1,147 @@
+package gp
+
+import (
+	"math"
+)
+
+// KernelFamily identifies a kernel shape for hyperparameter search.
+type KernelFamily int
+
+// Supported kernel families.
+const (
+	FamilyMatern52 KernelFamily = iota
+	FamilyMatern32
+	FamilyRBF
+)
+
+// makeKernel constructs a kernel of the family with the given parameters.
+func (f KernelFamily) makeKernel(variance, lengthScale float64) Kernel {
+	switch f {
+	case FamilyMatern32:
+		return Matern32{Variance: variance, LengthScale: lengthScale}
+	case FamilyRBF:
+		return RBF{Variance: variance, LengthScale: lengthScale}
+	default:
+		return Matern52{Variance: variance, LengthScale: lengthScale}
+	}
+}
+
+// FitOptions controls hyperparameter selection in FitAuto.
+type FitOptions struct {
+	Family KernelFamily
+	// Noise is the observation noise variance; if 0, a small default is
+	// chosen relative to the target variance.
+	Noise float64
+	// LengthScales is the grid of candidate length scales. If empty, a
+	// log-spaced grid spanning the data diameter is generated.
+	LengthScales []float64
+	// Variances is the grid of candidate signal variances. If empty, a
+	// grid around the empirical target variance is generated.
+	Variances []float64
+}
+
+// FitAuto selects kernel hyperparameters by maximizing the log marginal
+// likelihood over a grid and returns the fitted regressor. Grid search is
+// derivative-free, robust for the small sample counts AuTraScale works
+// with (tens of configurations), and deterministic.
+func FitAuto(xs [][]float64, ys []float64, opts FitOptions) (*Regressor, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	varY := variance(ys)
+	if varY <= 0 {
+		varY = 1e-6
+	}
+	noise := opts.Noise
+	if noise <= 0 {
+		noise = math.Max(1e-6, varY*1e-3)
+	}
+	lens := opts.LengthScales
+	if len(lens) == 0 {
+		lens = defaultLengthScales(xs)
+	}
+	vars := opts.Variances
+	if len(vars) == 0 {
+		vars = []float64{varY * 0.25, varY * 0.5, varY, varY * 2, varY * 4}
+	}
+
+	var best *Regressor
+	bestLML := math.Inf(-1)
+	for _, ls := range lens {
+		for _, v := range vars {
+			r := New(opts.Family.makeKernel(v, ls), noise)
+			if err := r.Fit(xs, ys); err != nil {
+				continue
+			}
+			lml, err := r.LogMarginalLikelihood()
+			if err != nil || math.IsNaN(lml) {
+				continue
+			}
+			if lml > bestLML {
+				bestLML = lml
+				best = r
+			}
+		}
+	}
+	if best == nil {
+		// Fall back to a fixed, conservative kernel.
+		r := New(opts.Family.makeKernel(varY, 1), noise)
+		if err := r.Fit(xs, ys); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	return best, nil
+}
+
+// defaultLengthScales builds a log-spaced grid from ~2% to ~2x of the data
+// diameter (largest pairwise distance), so at least one scale is in a
+// sensible range regardless of input units.
+func defaultLengthScales(xs [][]float64) []float64 {
+	diam := dataDiameter(xs)
+	if diam <= 0 {
+		diam = 1
+	}
+	const steps = 7
+	out := make([]float64, 0, steps)
+	lo, hi := math.Log(diam*0.02), math.Log(diam*2)
+	for i := 0; i < steps; i++ {
+		out = append(out, math.Exp(lo+(hi-lo)*float64(i)/float64(steps-1)))
+	}
+	return out
+}
+
+func dataDiameter(xs [][]float64) float64 {
+	var d2 float64
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			var s float64
+			for k := range xs[i] {
+				dd := xs[i][k] - xs[j][k]
+				s += dd * dd
+			}
+			if s > d2 {
+				d2 = s
+			}
+		}
+	}
+	return math.Sqrt(d2)
+}
+
+func variance(ys []float64) float64 {
+	n := len(ys)
+	if n < 2 {
+		return 0
+	}
+	var m float64
+	for _, y := range ys {
+		m += y
+	}
+	m /= float64(n)
+	var s float64
+	for _, y := range ys {
+		d := y - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}

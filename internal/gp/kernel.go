@@ -1,0 +1,104 @@
+// Package gp implements Gaussian process regression from scratch: Matérn
+// and RBF covariance kernels, exact posterior inference via Cholesky
+// factorization, log marginal likelihood, and a derivative-free
+// hyperparameter search.
+//
+// This is the surrogate model of AuTraScale (paper §III-E): the paper uses
+// a Gaussian process with a Matérn covariance kernel because it makes no
+// prior assumption about the shape of the parallelism→score relationship
+// and extrapolates better than, e.g., random forests.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"autrascale/internal/mat"
+)
+
+// Kernel is a positive-definite covariance function over ℝⁿ.
+type Kernel interface {
+	// Eval returns k(x, y).
+	Eval(x, y []float64) float64
+	// String describes the kernel and its hyperparameters.
+	String() string
+}
+
+// Matern52 is the Matérn covariance with smoothness ν = 5/2:
+//
+//	k(r) = σ²·(1 + √5 r/ℓ + 5r²/(3ℓ²))·exp(−√5 r/ℓ)
+//
+// The paper's choice ("the GP model with the Matern covariance kernel").
+type Matern52 struct {
+	Variance    float64 // σ², signal variance
+	LengthScale float64 // ℓ > 0
+}
+
+// Eval returns the Matérn-5/2 covariance between x and y.
+func (k Matern52) Eval(x, y []float64) float64 {
+	r := math.Sqrt(mat.SqDist(x, y)) / k.LengthScale
+	s := math.Sqrt(5) * r
+	return k.Variance * (1 + s + 5*r*r/3) * math.Exp(-s)
+}
+
+func (k Matern52) String() string {
+	return fmt.Sprintf("Matern52(var=%.4g, len=%.4g)", k.Variance, k.LengthScale)
+}
+
+// Matern32 is the Matérn covariance with ν = 3/2:
+//
+//	k(r) = σ²·(1 + √3 r/ℓ)·exp(−√3 r/ℓ)
+type Matern32 struct {
+	Variance    float64
+	LengthScale float64
+}
+
+// Eval returns the Matérn-3/2 covariance between x and y.
+func (k Matern32) Eval(x, y []float64) float64 {
+	r := math.Sqrt(mat.SqDist(x, y)) / k.LengthScale
+	s := math.Sqrt(3) * r
+	return k.Variance * (1 + s) * math.Exp(-s)
+}
+
+func (k Matern32) String() string {
+	return fmt.Sprintf("Matern32(var=%.4g, len=%.4g)", k.Variance, k.LengthScale)
+}
+
+// RBF is the squared-exponential covariance k(r) = σ²·exp(−r²/(2ℓ²)).
+type RBF struct {
+	Variance    float64
+	LengthScale float64
+}
+
+// Eval returns the RBF covariance between x and y.
+func (k RBF) Eval(x, y []float64) float64 {
+	return k.Variance * math.Exp(-mat.SqDist(x, y)/(2*k.LengthScale*k.LengthScale))
+}
+
+func (k RBF) String() string {
+	return fmt.Sprintf("RBF(var=%.4g, len=%.4g)", k.Variance, k.LengthScale)
+}
+
+// gram builds the n x n Gram matrix K[i,j] = k(xs[i], xs[j]) + noise·δij.
+func gram(k Kernel, xs [][]float64, noise float64) *mat.Matrix {
+	n := len(xs)
+	g := mat.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(xs[i], xs[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+		g.Add(i, i, noise)
+	}
+	return g
+}
+
+// crossCov returns the vector [k(x, xs[0]), ..., k(x, xs[n-1])].
+func crossCov(k Kernel, x []float64, xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, xi := range xs {
+		out[i] = k.Eval(x, xi)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autrascale/internal/mat"
+)
+
+// ErrNoData is returned when fitting or predicting with no training points.
+var ErrNoData = errors.New("gp: no training data")
+
+// Regressor is an exact Gaussian process regressor. The zero value is not
+// usable; construct with New and call Fit before Predict.
+//
+// The model is y = f(x) + ε with f ~ GP(mean, k) and ε ~ N(0, Noise). The
+// prior mean is the constant training-target mean (standard "centered"
+// parameterization), which keeps extrapolation anchored to typical scores
+// rather than zero.
+type Regressor struct {
+	kernel Kernel
+	noise  float64
+
+	xs    [][]float64
+	ys    []float64 // centered targets
+	meanY float64
+
+	chol  *mat.Cholesky
+	alpha []float64 // K⁻¹·(y − mean)
+}
+
+// New returns a Regressor with the given kernel and observation noise
+// variance (noise must be > 0 for numerical stability; values around 1e-6
+// to 1e-2 are typical for normalized targets).
+func New(kernel Kernel, noise float64) *Regressor {
+	if noise <= 0 {
+		panic("gp: noise must be positive")
+	}
+	return &Regressor{kernel: kernel, noise: noise}
+}
+
+// Kernel returns the kernel in use.
+func (r *Regressor) Kernel() Kernel { return r.kernel }
+
+// Noise returns the observation noise variance.
+func (r *Regressor) Noise() float64 { return r.noise }
+
+// NumData returns the number of training points.
+func (r *Regressor) NumData() int { return len(r.xs) }
+
+// Fit trains the GP on (xs, ys). Inputs are copied. All xs must share one
+// dimensionality, and len(xs) must equal len(ys).
+func (r *Regressor) Fit(xs [][]float64, ys []float64) error {
+	if len(xs) == 0 {
+		return ErrNoData
+	}
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gp: %d inputs but %d targets", len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	cx := make([][]float64, len(xs))
+	for i, x := range xs {
+		if len(x) != dim {
+			return fmt.Errorf("gp: input %d has dim %d, want %d", i, len(x), dim)
+		}
+		cx[i] = mat.CopyVec(x)
+	}
+	meanY := 0.0
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	cy := make([]float64, len(ys))
+	for i, y := range ys {
+		cy[i] = y - meanY
+	}
+
+	k := gram(r.kernel, cx, r.noise)
+	chol, _, err := mat.NewCholeskyJittered(k, 1e-10, 1e-2)
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix not positive definite: %w", err)
+	}
+	r.xs, r.ys, r.meanY = cx, cy, meanY
+	r.chol = chol
+	r.alpha = chol.SolveVec(cy)
+	return nil
+}
+
+// Predict returns the posterior mean and variance at x. The variance is
+// the latent-function variance (excluding observation noise), floored at 0.
+func (r *Regressor) Predict(x []float64) (mean, variance float64, err error) {
+	if r.chol == nil {
+		return 0, 0, ErrNoData
+	}
+	ks := crossCov(r.kernel, x, r.xs)
+	mean = r.meanY + mat.Dot(ks, r.alpha)
+	v := r.chol.SolveLowerVec(ks)
+	variance = r.kernel.Eval(x, x) - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance, nil
+}
+
+// PredictMean returns just the posterior mean at x (0 when unfitted).
+func (r *Regressor) PredictMean(x []float64) float64 {
+	m, _, err := r.Predict(x)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// PredictStd returns the posterior mean and standard deviation at x.
+func (r *Regressor) PredictStd(x []float64) (mean, std float64, err error) {
+	m, v, err := r.Predict(x)
+	return m, math.Sqrt(v), err
+}
+
+// TrainingData returns copies of the fitted inputs and (de-centered)
+// targets — enough to refit an equivalent model, which is how the
+// transfer package persists benefit models.
+func (r *Regressor) TrainingData() (xs [][]float64, ys []float64) {
+	xs = make([][]float64, len(r.xs))
+	for i, x := range r.xs {
+		xs[i] = mat.CopyVec(x)
+	}
+	ys = make([]float64, len(r.ys))
+	for i, y := range r.ys {
+		ys[i] = y + r.meanY
+	}
+	return xs, ys
+}
+
+// LogMarginalLikelihood returns log p(y | X, θ) for the fitted model:
+//
+//	−½ yᵀK⁻¹y − ½ log|K| − (n/2)·log 2π
+func (r *Regressor) LogMarginalLikelihood() (float64, error) {
+	if r.chol == nil {
+		return 0, ErrNoData
+	}
+	n := float64(len(r.ys))
+	fit := -0.5 * mat.Dot(r.ys, r.alpha)
+	complexity := -0.5 * r.chol.LogDet()
+	return fit + complexity - 0.5*n*math.Log(2*math.Pi), nil
+}

@@ -1,0 +1,142 @@
+package jobs
+
+import (
+	"time"
+)
+
+// Calibration: micro-benchmark the per-record operator functions on
+// synthetic data. The measured records/second are the provenance of the
+// relative BaseRatePerInstance values in internal/workloads — the tests
+// assert the *orderings* (tokenizing is much cheaper than keyed counting;
+// JSON parsing is the Yahoo pipeline's CPU bottleneck until the external
+// store is budgeted; windowing dominates Nexmark).
+
+// OperatorRate is one calibration measurement.
+type OperatorRate struct {
+	Operator   string
+	RecordsPer float64 // records per second, single-threaded
+}
+
+// CalibrateWordCount measures the WordCount stages over n lines.
+func CalibrateWordCount(seed uint64, n int) []OperatorRate {
+	gen := NewSentenceGenerator(seed, 5000)
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = gen.Next()
+	}
+
+	// FlatMap: tokenize every line.
+	start := time.Now()
+	var words []string
+	for _, l := range lines {
+		words = append(words, Tokenize(l)...)
+	}
+	tokenizeRate := rate(n, start)
+
+	// Count: keyed aggregation over every word.
+	counter := NewWordCounter()
+	start = time.Now()
+	for _, w := range words {
+		counter.Add(w)
+	}
+	countRate := rate(len(words), start)
+
+	return []OperatorRate{
+		{Operator: "FlatMap(tokenize)", RecordsPer: tokenizeRate},
+		{Operator: "Count(keyed)", RecordsPer: countRate},
+	}
+}
+
+// CalibrateYahoo measures the Yahoo stages over n events.
+func CalibrateYahoo(seed uint64, n int) ([]OperatorRate, error) {
+	store, err := NewCampaignStore(100, 10)
+	if err != nil {
+		return nil, err
+	}
+	gen := NewAdEventGenerator(seed, store)
+	raw := make([][]byte, n)
+	for i := range raw {
+		raw[i] = gen.Next()
+	}
+
+	// Deserialize.
+	start := time.Now()
+	events := make([]AdEvent, 0, n)
+	for _, r := range raw {
+		ev, err := ParseAdEvent(r)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	parseRate := rate(n, start)
+
+	// Filter + Project.
+	start = time.Now()
+	var projected []Projection
+	for _, ev := range events {
+		if IsView(ev) {
+			projected = append(projected, Project(ev))
+		}
+	}
+	filterRate := rate(n, start)
+
+	// Join against the in-memory store (no external budget here: this
+	// measures CPU cost; the throughput cap is a *budgeted* property).
+	win := NewCampaignWindow(10_000)
+	start = time.Now()
+	for _, p := range projected {
+		if campaign, ok := store.Lookup(p.AdID); ok {
+			win.Add(campaign, p.EventTime)
+		}
+	}
+	joinRate := rate(len(projected), start)
+
+	return []OperatorRate{
+		{Operator: "Deserialize(json)", RecordsPer: parseRate},
+		{Operator: "Filter+Project", RecordsPer: filterRate},
+		{Operator: "Join+Window", RecordsPer: joinRate},
+	}, nil
+}
+
+// CalibrateNexmark measures Q5 and Q11 windowing over n bids.
+func CalibrateNexmark(seed uint64, n int) ([]OperatorRate, error) {
+	gen, err := NewBidGenerator(seed, 1000)
+	if err != nil {
+		return nil, err
+	}
+	bids := make([]Bid, n)
+	for i := range bids {
+		bids[i] = gen.Next()
+	}
+
+	q5, err := NewHotItems(60_000, 10_000)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, b := range bids {
+		q5.Add(b)
+	}
+	q5Rate := rate(n, start)
+
+	q11 := NewSessionWindows(10_000)
+	start = time.Now()
+	for _, b := range bids {
+		q11.Add(b)
+	}
+	q11Rate := rate(n, start)
+
+	return []OperatorRate{
+		{Operator: "Q5(sliding window)", RecordsPer: q5Rate},
+		{Operator: "Q11(session window)", RecordsPer: q11Rate},
+	}, nil
+}
+
+func rate(records int, since time.Time) float64 {
+	elapsed := time.Since(since).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(records) / elapsed
+}

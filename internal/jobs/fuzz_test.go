@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize: no panic on arbitrary input, and every produced token is
+// non-empty lowercase letters/digits.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{"Hello, World!", "", "日本語 text", "a\x00b", "1 2 3"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		for _, w := range Tokenize(line) {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range w {
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lowercased", w)
+				}
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", w, r)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseAdEvent: never panics; on success the ad id is non-empty.
+func FuzzParseAdEvent(f *testing.F) {
+	store, err := NewCampaignStore(2, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gen := NewAdEventGenerator(1, store)
+	f.Add([]byte(`{"ad_id":"x","event_type":"view"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Add(gen.Next())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := ParseAdEvent(data)
+		if err == nil && ev.AdID == "" {
+			t.Fatal("successful parse must carry an ad id")
+		}
+	})
+}
+
+// FuzzSessionWindows: arbitrary bid streams never lose bids — the sum of
+// closed-session bid counts equals the number of Adds.
+func FuzzSessionWindows(f *testing.F) {
+	f.Add(int64(5), uint8(3), uint8(7))
+	f.Add(int64(0), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, t0 int64, nBidders, nBids uint8) {
+		s := NewSessionWindows(1000)
+		total := uint64(0)
+		tm := t0
+		for b := 0; b < int(nBidders)%8+1; b++ {
+			for i := 0; i < int(nBids)%16+1; i++ {
+				tm += int64(i*37) % 2500
+				s.Add(Bid{Bidder: int64(b), DateTime: tm})
+				total++
+			}
+		}
+		var sum uint64
+		for _, sess := range s.CloseAll() {
+			if sess.EndMS < sess.StartMS {
+				t.Fatalf("session ends before it starts: %+v", sess)
+			}
+			sum += sess.Bids
+		}
+		if sum != total {
+			t.Fatalf("bids lost: folded %d, recovered %d", total, sum)
+		}
+	})
+}

@@ -1,0 +1,346 @@
+package jobs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"Hello, World!": {"hello", "world"},
+		"a  b\tc":       {"a", "b", "c"},
+		"":              {},
+		"...":           {},
+		"Go1 go2 GO1":   {"go1", "go2", "go1"},
+		"don't stop":    {"don", "t", "stop"},
+	}
+	for in, want := range cases {
+		got := Tokenize(in)
+		if len(got) != len(want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Tokenize(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWordCounter(t *testing.T) {
+	c := NewWordCounter()
+	for _, w := range []string{"a", "b", "a", "c", "a", "b"} {
+		c.Add(w)
+	}
+	if c.Seen() != 6 || c.Distinct() != 3 {
+		t.Fatalf("seen=%d distinct=%d", c.Seen(), c.Distinct())
+	}
+	if c.Count("a") != 3 || c.Count("b") != 2 || c.Count("zzz") != 0 {
+		t.Fatal("counts wrong")
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Word != "a" || top[0].Count != 3 || top[1].Word != "b" {
+		t.Fatalf("Top = %v", top)
+	}
+	if c.Top(0) != nil {
+		t.Fatal("Top(0) should be nil")
+	}
+	// Ties break lexicographically.
+	c2 := NewWordCounter()
+	c2.Add("z")
+	c2.Add("a")
+	top2 := c2.Top(2)
+	if top2[0].Word != "a" || top2[1].Word != "z" {
+		t.Fatalf("tie break wrong: %v", top2)
+	}
+}
+
+// Property: the counter's total equals the number of Adds, and Top counts
+// are non-increasing.
+func TestWordCounterProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewSentenceGenerator(seed, 50)
+		c := NewWordCounter()
+		var total uint64
+		for i := 0; i < 20; i++ {
+			for _, w := range Tokenize(g.Next()) {
+				c.Add(w)
+				total++
+			}
+		}
+		if c.Seen() != total {
+			return false
+		}
+		top := c.Top(10)
+		for i := 1; i < len(top); i++ {
+			if top[i].Count > top[i-1].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentenceGeneratorSkew(t *testing.T) {
+	g := NewSentenceGenerator(3, 500)
+	c := NewWordCounter()
+	for i := 0; i < 3000; i++ {
+		for _, w := range Tokenize(g.Next()) {
+			c.Add(w)
+		}
+	}
+	top := c.Top(1)
+	if len(top) == 0 {
+		t.Fatal("no words generated")
+	}
+	// Zipf skew: the hottest word should dominate a uniform share.
+	uniform := float64(c.Seen()) / float64(c.Distinct())
+	if float64(top[0].Count) < 5*uniform {
+		t.Fatalf("hottest word count %d not skewed vs uniform share %.0f", top[0].Count, uniform)
+	}
+}
+
+func TestAdEventRoundTrip(t *testing.T) {
+	store, err := NewCampaignStore(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewAdEventGenerator(7, store)
+	views, others := 0, 0
+	for i := 0; i < 1000; i++ {
+		raw := gen.Next()
+		ev, err := ParseAdEvent(raw)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if IsView(ev) {
+			views++
+			p := Project(ev)
+			campaign, ok := store.Lookup(p.AdID)
+			if !ok {
+				t.Fatalf("ad %q not in store", p.AdID)
+			}
+			if campaign == "" {
+				t.Fatal("empty campaign")
+			}
+		} else {
+			others++
+		}
+	}
+	// Roughly a third are views.
+	if views < 200 || views > 500 {
+		t.Fatalf("views = %d of 1000, want ~333", views)
+	}
+	if store.Lookups() == 0 {
+		t.Fatal("lookups not counted")
+	}
+}
+
+func TestParseAdEventErrors(t *testing.T) {
+	if _, err := ParseAdEvent([]byte("{nope")); err == nil {
+		t.Fatal("bad json should error")
+	}
+	if _, err := ParseAdEvent([]byte(`{"user_id":"u"}`)); err == nil {
+		t.Fatal("missing ad_id should error")
+	}
+}
+
+func TestNewCampaignStoreValidation(t *testing.T) {
+	if _, err := NewCampaignStore(0, 5); err == nil {
+		t.Fatal("0 campaigns should error")
+	}
+	if _, err := NewCampaignStore(5, 0); err == nil {
+		t.Fatal("0 ads should error")
+	}
+}
+
+func TestCampaignWindow(t *testing.T) {
+	w := NewCampaignWindow(10_000)
+	base := int64(1_600_000_000_000)
+	w.Add("c1", base+1)
+	w.Add("c1", base+9_999)
+	w.Add("c1", base+10_001) // next window
+	w.Add("c2", base+5)
+	if got := w.Count("c1", base); got != 2 {
+		t.Fatalf("window count = %d, want 2", got)
+	}
+	if got := w.Count("c1", base+10_000); got != 1 {
+		t.Fatalf("next window = %d", got)
+	}
+	if got := w.Count("c2", base); got != 1 {
+		t.Fatalf("c2 = %d", got)
+	}
+	if got := w.Count("missing", base); got != 0 {
+		t.Fatalf("missing campaign = %d", got)
+	}
+}
+
+func TestHotItemsQ5(t *testing.T) {
+	h, err := NewHotItems(30_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_600_000_000_000)
+	// Auction 7 gets 5 bids, auction 3 gets 2, inside one window.
+	for i := 0; i < 5; i++ {
+		h.Add(Bid{Auction: 7, DateTime: base + int64(i)*1000})
+	}
+	h.Add(Bid{Auction: 3, DateTime: base + 1500})
+	h.Add(Bid{Auction: 3, DateTime: base + 2500})
+	a, c, ok := h.Hot(base + 30_000)
+	if !ok || a != 7 || c != 5 {
+		t.Fatalf("Hot = (%d, %d, %v), want (7, 5, true)", a, c, ok)
+	}
+	// A window far in the future is empty.
+	if _, _, ok := h.Hot(base + 10*60_000); ok {
+		t.Fatal("future window should be empty")
+	}
+	// Sliding: bids fall out once the window passes them.
+	if _, c2, ok := h.Hot(base + 40_000); ok && c2 > 5 {
+		t.Fatalf("stale bids leaked: %d", c2)
+	}
+	// Expiry bounds state.
+	before := h.Panes()
+	h.Expire(base + 120_000)
+	if h.Panes() >= before {
+		t.Fatalf("Expire kept %d of %d panes", h.Panes(), before)
+	}
+	// Invalid geometry rejected.
+	if _, err := NewHotItems(25_000, 10_000); err == nil {
+		t.Fatal("non-multiple window should error")
+	}
+}
+
+func TestSessionWindowsQ11(t *testing.T) {
+	s := NewSessionWindows(10_000)
+	base := int64(1_600_000_000_000)
+	// Bidder 1: two sessions separated by a 20 s gap.
+	s.Add(Bid{Bidder: 1, DateTime: base})
+	s.Add(Bid{Bidder: 1, DateTime: base + 5_000})
+	s.Add(Bid{Bidder: 1, DateTime: base + 30_000})
+	// Bidder 2: one session.
+	s.Add(Bid{Bidder: 2, DateTime: base + 1_000})
+	if s.OpenSessions() != 2 {
+		t.Fatalf("open = %d", s.OpenSessions())
+	}
+	sessions := s.CloseAll()
+	if len(sessions) != 3 {
+		t.Fatalf("sessions = %d, want 3: %+v", len(sessions), sessions)
+	}
+	first := sessions[0]
+	if first.Bidder != 1 || first.Bids != 2 || first.StartMS != base || first.EndMS != base+15_000 {
+		t.Fatalf("first session = %+v", first)
+	}
+	if sessions[1].Bidder != 1 || sessions[1].Bids != 1 {
+		t.Fatalf("second session = %+v", sessions[1])
+	}
+	if s.OpenSessions() != 0 {
+		t.Fatal("CloseAll should drain")
+	}
+	if s.MaxOpenSessions() != 2 {
+		t.Fatalf("max open = %d", s.MaxOpenSessions())
+	}
+}
+
+func TestBidGenerator(t *testing.T) {
+	if _, err := NewBidGenerator(1, 0); err == nil {
+		t.Fatal("0 auctions should error")
+	}
+	g, err := NewBidGenerator(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	counts := map[int64]int{}
+	for i := 0; i < 5000; i++ {
+		b := g.Next()
+		if b.DateTime <= prev {
+			t.Fatal("event time must advance")
+		}
+		prev = b.DateTime
+		if b.Auction < 0 || b.Auction >= 100 {
+			t.Fatalf("auction %d out of range", b.Auction)
+		}
+		counts[b.Auction]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("auction popularity should be skewed: %d vs %d", counts[0], counts[50])
+	}
+}
+
+// Calibration orderings back the workload profiles.
+func TestCalibrationOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration micro-benchmarks")
+	}
+	wc := CalibrateWordCount(1, 20000)
+	if len(wc) != 2 || wc[0].RecordsPer <= 0 || wc[1].RecordsPer <= 0 {
+		t.Fatalf("wordcount calibration: %+v", wc)
+	}
+
+	yh, err := CalibrateYahoo(2, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parse, filter float64
+	for _, r := range yh {
+		switch r.Operator {
+		case "Deserialize(json)":
+			parse = r.RecordsPer
+		case "Filter+Project":
+			filter = r.RecordsPer
+		}
+	}
+	// JSON parsing is far slower than filtering — the reason the Yahoo
+	// profile gives Deserialize a much lower base rate than Filter.
+	if filter < 2*parse {
+		t.Fatalf("filter (%.0f/s) should be much faster than parse (%.0f/s)", filter, parse)
+	}
+
+	nx, err := CalibrateNexmark(3, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range nx {
+		if r.RecordsPer <= 0 {
+			t.Fatalf("nexmark calibration: %+v", nx)
+		}
+	}
+}
+
+// The budgeted campaign store imposes a per-lookup latency — the Redis
+// bottleneck in miniature — and stays race-free under concurrent callers.
+func TestCampaignStoreBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	store, err := NewCampaignStore(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.LookupBudget = 200 * time.Microsecond
+	start := time.Now()
+	done := make(chan struct{}, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				store.Lookup("ad-0000-0000")
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if store.Lookups() != 200 {
+		t.Fatalf("counted %d lookups, want 200", store.Lookups())
+	}
+	// Each of the 4 workers slept 50 × 200 µs = 10 ms at minimum.
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("lookup budget not enforced")
+	}
+}

@@ -1,0 +1,207 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"autrascale/internal/stat"
+)
+
+// Nexmark's bid stream and the two windowed queries the paper evaluates:
+// Q5 (hot items over a sliding window) and Q11 (bids per user session).
+
+// Bid is one auction bid.
+type Bid struct {
+	Auction int64
+	Bidder  int64
+	Price   int64
+	// DateTime is the event time in ms.
+	DateTime int64
+}
+
+// BidGenerator produces a synthetic bid stream with skewed auction
+// popularity (hot items — the reason Q5 is interesting).
+type BidGenerator struct {
+	rng      *stat.RNG
+	zipf     *stat.Zipf
+	auctions int
+	now      int64
+	// MeanInterarrivalMS advances event time (default 2 ms).
+	MeanInterarrivalMS float64
+}
+
+// NewBidGenerator builds a generator over the given auction count.
+func NewBidGenerator(seed uint64, auctions int) (*BidGenerator, error) {
+	if auctions < 1 {
+		return nil, errors.New("jobs: need at least one auction")
+	}
+	rng := stat.NewRNG(seed ^ 0xccdd_eeff_0011_2233)
+	return &BidGenerator{
+		rng:                rng,
+		zipf:               stat.NewZipf(rng.Split(), auctions, 1.2),
+		auctions:           auctions,
+		now:                1_600_000_000_000,
+		MeanInterarrivalMS: 2,
+	}, nil
+}
+
+// Next returns one bid.
+func (g *BidGenerator) Next() Bid {
+	g.now += int64(g.rng.Exp(1/g.MeanInterarrivalMS)) + 1
+	return Bid{
+		Auction:  int64(g.zipf.Next()),
+		Bidder:   int64(g.rng.Intn(10000)),
+		Price:    100 + int64(g.rng.Intn(10000)),
+		DateTime: g.now,
+	}
+}
+
+// HotItems is Nexmark Q5: over a sliding window (size, slide), which
+// auction received the most bids. The implementation keeps per-slide
+// pane counts and merges panes per query — the standard pane-based
+// sliding-window optimization.
+type HotItems struct {
+	sizeMS, slideMS int64
+	panes           map[int64]map[int64]uint64 // pane start -> auction -> count
+}
+
+// NewHotItems builds the Q5 operator (defaults: 60 s window, 10 s slide).
+func NewHotItems(sizeMS, slideMS int64) (*HotItems, error) {
+	if sizeMS <= 0 {
+		sizeMS = 60_000
+	}
+	if slideMS <= 0 {
+		slideMS = 10_000
+	}
+	if sizeMS%slideMS != 0 {
+		return nil, fmt.Errorf("jobs: window %dms must be a multiple of slide %dms", sizeMS, slideMS)
+	}
+	return &HotItems{sizeMS: sizeMS, slideMS: slideMS, panes: map[int64]map[int64]uint64{}}, nil
+}
+
+// Add folds one bid in.
+func (h *HotItems) Add(b Bid) {
+	pane := b.DateTime - b.DateTime%h.slideMS
+	m := h.panes[pane]
+	if m == nil {
+		m = map[int64]uint64{}
+		h.panes[pane] = m
+	}
+	m[b.Auction]++
+}
+
+// Hot returns the hottest auction and its bid count for the window ending
+// at (and aligned to) endMS; ok is false for an empty window.
+func (h *HotItems) Hot(endMS int64) (auction int64, count uint64, ok bool) {
+	end := endMS - endMS%h.slideMS
+	start := end - h.sizeMS
+	totals := map[int64]uint64{}
+	for pane := start; pane < end; pane += h.slideMS {
+		for a, c := range h.panes[pane] {
+			totals[a] += c
+		}
+	}
+	best := int64(-1)
+	var bestC uint64
+	for a, c := range totals {
+		if c > bestC || (c == bestC && best >= 0 && a < best) {
+			best, bestC = a, c
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, bestC, true
+}
+
+// Expire drops panes that can no longer contribute to any window ending
+// after beforeMS, bounding state.
+func (h *HotItems) Expire(beforeMS int64) {
+	cutoff := beforeMS - beforeMS%h.slideMS - h.sizeMS
+	for pane := range h.panes {
+		if pane < cutoff {
+			delete(h.panes, pane)
+		}
+	}
+}
+
+// Panes returns the live pane count (state-size introspection).
+func (h *HotItems) Panes() int { return len(h.panes) }
+
+// SessionWindows is Nexmark Q11: bids per bidder per session, where a
+// session closes after GapMS of inactivity.
+type SessionWindows struct {
+	GapMS   int64
+	open    map[int64]*session
+	closed  []Session
+	maxOpen int
+}
+
+type session struct {
+	start, last int64
+	bids        uint64
+}
+
+// Session is one closed session result.
+type Session struct {
+	Bidder  int64
+	StartMS int64
+	EndMS   int64
+	Bids    uint64
+}
+
+// NewSessionWindows builds the Q11 operator (default gap 10 s).
+func NewSessionWindows(gapMS int64) *SessionWindows {
+	if gapMS <= 0 {
+		gapMS = 10_000
+	}
+	return &SessionWindows{GapMS: gapMS, open: map[int64]*session{}}
+}
+
+// Add folds one bid in, closing the bidder's previous session if the gap
+// elapsed. Out-of-order bids within the gap extend the session.
+func (s *SessionWindows) Add(b Bid) {
+	cur := s.open[b.Bidder]
+	if cur == nil {
+		s.open[b.Bidder] = &session{start: b.DateTime, last: b.DateTime, bids: 1}
+	} else if b.DateTime-cur.last > s.GapMS {
+		s.closed = append(s.closed, Session{
+			Bidder: b.Bidder, StartMS: cur.start, EndMS: cur.last + s.GapMS, Bids: cur.bids,
+		})
+		s.open[b.Bidder] = &session{start: b.DateTime, last: b.DateTime, bids: 1}
+	} else {
+		if b.DateTime > cur.last {
+			cur.last = b.DateTime
+		}
+		cur.bids++
+	}
+	if len(s.open) > s.maxOpen {
+		s.maxOpen = len(s.open)
+	}
+}
+
+// CloseAll flushes every open session (end of stream) and returns all
+// closed sessions sorted by (bidder, start) for determinism.
+func (s *SessionWindows) CloseAll() []Session {
+	for bidder, cur := range s.open {
+		s.closed = append(s.closed, Session{
+			Bidder: bidder, StartMS: cur.start, EndMS: cur.last + s.GapMS, Bids: cur.bids,
+		})
+	}
+	s.open = map[int64]*session{}
+	sort.Slice(s.closed, func(i, j int) bool {
+		if s.closed[i].Bidder != s.closed[j].Bidder {
+			return s.closed[i].Bidder < s.closed[j].Bidder
+		}
+		return s.closed[i].StartMS < s.closed[j].StartMS
+	})
+	return s.closed
+}
+
+// OpenSessions returns the number of currently open sessions.
+func (s *SessionWindows) OpenSessions() int { return len(s.open) }
+
+// MaxOpenSessions returns the high-water mark of concurrently open
+// sessions (the state-size driver of Q11's profile).
+func (s *SessionWindows) MaxOpenSessions() int { return s.maxOpen }

@@ -1,0 +1,152 @@
+// Package jobs implements the *record-level logic* of the benchmark
+// workloads — real tokenization for WordCount, ad-event parsing and
+// campaign joining for the Yahoo Streaming Benchmark, and bid windowing
+// for Nexmark Q5/Q11 — together with synthetic data generators.
+//
+// The simulator (internal/flink) works with operator *profiles* (rates,
+// costs); this package is where those profiles come from: the calibration
+// helpers micro-benchmark the per-record functions on generated data, and
+// the workloads package's relative rates mirror the measured orderings
+// (Source > FlatMap ≫ Count for WordCount, windowing slowest for Nexmark,
+// and the external store dominating the Yahoo join). The tests assert
+// those orderings so the calibration stays honest.
+package jobs
+
+import (
+	"strings"
+	"unicode"
+
+	"autrascale/internal/stat"
+)
+
+// Tokenize splits a line into lowercase words, the WordCount FlatMap.
+// It is allocation-conscious: a single pass, fields split on any
+// non-letter rune.
+func Tokenize(line string) []string {
+	words := strings.FieldsFunc(line, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	for i, w := range words {
+		words[i] = strings.ToLower(w)
+	}
+	return words
+}
+
+// WordCounter is the WordCount aggregation operator: keyed counts with
+// periodic snapshot emission, mirroring Flink's keyed window count.
+type WordCounter struct {
+	counts map[string]uint64
+	seen   uint64
+}
+
+// NewWordCounter returns an empty counter.
+func NewWordCounter() *WordCounter {
+	return &WordCounter{counts: make(map[string]uint64)}
+}
+
+// Add folds one word in and returns its updated count.
+func (w *WordCounter) Add(word string) uint64 {
+	w.counts[word]++
+	w.seen++
+	return w.counts[word]
+}
+
+// Seen returns the number of words folded in.
+func (w *WordCounter) Seen() uint64 { return w.seen }
+
+// Distinct returns the number of distinct words.
+func (w *WordCounter) Distinct() int { return len(w.counts) }
+
+// Count returns the count for one word.
+func (w *WordCounter) Count(word string) uint64 { return w.counts[word] }
+
+// Top returns up to n (word, count) pairs with the highest counts, ties
+// broken lexicographically for determinism.
+func (w *WordCounter) Top(n int) []WordCount {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]WordCount, 0, len(w.counts))
+	for word, c := range w.counts {
+		out = append(out, WordCount{Word: word, Count: c})
+	}
+	sortWordCounts(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WordCount is one aggregation result.
+type WordCount struct {
+	Word  string
+	Count uint64
+}
+
+func sortWordCounts(ws []WordCount) {
+	// Insertion-free: use sort.Slice semantics without importing sort in
+	// two places — small helper for determinism.
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ws[j-1], ws[j]
+			if b.Count > a.Count || (b.Count == a.Count && b.Word < a.Word) {
+				ws[j-1], ws[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// SentenceGenerator produces synthetic text lines with a Zipf word
+// distribution — the skew real text has, which is what makes keyed word
+// counting contend on hot keys.
+type SentenceGenerator struct {
+	vocab []string
+	zipf  *stat.Zipf
+	rng   *stat.RNG
+	// WordsPerLine is the mean sentence length (Poisson), default 8.
+	WordsPerLine float64
+}
+
+// NewSentenceGenerator builds a generator over vocabSize synthetic words.
+func NewSentenceGenerator(seed uint64, vocabSize int) *SentenceGenerator {
+	if vocabSize < 1 {
+		vocabSize = 1
+	}
+	rng := stat.NewRNG(seed ^ 0x11aa_22bb_33cc_44dd)
+	vocab := make([]string, vocabSize)
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	for i := range vocab {
+		var b strings.Builder
+		n := 3 + i%7
+		x := i
+		for j := 0; j < n; j++ {
+			b.WriteByte(letters[(x+j*7)%len(letters)])
+			x /= 3
+		}
+		vocab[i] = b.String()
+	}
+	return &SentenceGenerator{
+		vocab:        vocab,
+		zipf:         stat.NewZipf(rng.Split(), vocabSize, 1.1),
+		rng:          rng,
+		WordsPerLine: 8,
+	}
+}
+
+// Next returns one synthetic line.
+func (g *SentenceGenerator) Next() string {
+	n := g.rng.Poisson(g.WordsPerLine)
+	if n < 1 {
+		n = 1
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.vocab[g.zipf.Next()])
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autrascale/internal/stat"
+)
+
+// The Yahoo Streaming Benchmark pipeline at record level: JSON ad events
+// are deserialized, filtered to views, projected to (adID, eventTime),
+// joined against the ad→campaign mapping (Redis in the original; an
+// in-memory CampaignStore with a configurable per-op budget here), and
+// counted per campaign window.
+
+// AdEvent is the benchmark's input record.
+type AdEvent struct {
+	UserID    string `json:"user_id"`
+	PageID    string `json:"page_id"`
+	AdID      string `json:"ad_id"`
+	AdType    string `json:"ad_type"`
+	EventType string `json:"event_type"`
+	EventTime int64  `json:"event_time"` // ms since epoch
+	IPAddress string `json:"ip_address"`
+}
+
+// ParseAdEvent deserializes one JSON event (the Deserialize operator).
+func ParseAdEvent(data []byte) (AdEvent, error) {
+	var ev AdEvent
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return AdEvent{}, fmt.Errorf("jobs: bad ad event: %w", err)
+	}
+	if ev.AdID == "" {
+		return AdEvent{}, errors.New("jobs: ad event missing ad_id")
+	}
+	return ev, nil
+}
+
+// IsView is the Filter operator: the benchmark keeps only "view" events.
+func IsView(ev AdEvent) bool { return ev.EventType == "view" }
+
+// Projection is the projected record forwarded to the join.
+type Projection struct {
+	AdID      string
+	EventTime int64
+}
+
+// Project is the Projection operator.
+func Project(ev AdEvent) Projection {
+	return Projection{AdID: ev.AdID, EventTime: ev.EventTime}
+}
+
+// CampaignStore maps ads to campaigns — the Redis substitute. A non-zero
+// LookupBudget imposes the serialized external-store latency that caps
+// the Yahoo pipeline's total throughput in the paper (Fig. 5b).
+type CampaignStore struct {
+	mu      sync.Mutex
+	mapping map[string]string
+	// LookupBudget simulates the external round trip per lookup.
+	LookupBudget time.Duration
+	lookups      uint64
+}
+
+// NewCampaignStore builds a store with ads spread uniformly over
+// campaigns.
+func NewCampaignStore(numCampaigns, adsPerCampaign int) (*CampaignStore, error) {
+	if numCampaigns < 1 || adsPerCampaign < 1 {
+		return nil, errors.New("jobs: need at least one campaign and ad")
+	}
+	m := make(map[string]string, numCampaigns*adsPerCampaign)
+	for c := 0; c < numCampaigns; c++ {
+		campaign := fmt.Sprintf("campaign-%04d", c)
+		for a := 0; a < adsPerCampaign; a++ {
+			m[fmt.Sprintf("ad-%04d-%04d", c, a)] = campaign
+		}
+	}
+	return &CampaignStore{mapping: m}, nil
+}
+
+// Lookup is the JoinSink's external call: ad → campaign.
+func (s *CampaignStore) Lookup(adID string) (string, bool) {
+	s.mu.Lock()
+	campaign, ok := s.mapping[adID]
+	s.lookups++
+	budget := s.LookupBudget
+	s.mu.Unlock()
+	if budget > 0 {
+		// The serialized budget is what caps total throughput no matter
+		// how many join instances exist — exactly the paper's Redis
+		// bottleneck.
+		time.Sleep(budget)
+	}
+	return campaign, ok
+}
+
+// Lookups returns the number of lookups served.
+func (s *CampaignStore) Lookups() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookups
+}
+
+// CampaignWindow counts views per campaign in tumbling windows.
+type CampaignWindow struct {
+	WindowMS int64
+	counts   map[string]map[int64]uint64 // campaign -> window start -> count
+}
+
+// NewCampaignWindow builds a windowed counter (default window 10 s).
+func NewCampaignWindow(windowMS int64) *CampaignWindow {
+	if windowMS <= 0 {
+		windowMS = 10_000
+	}
+	return &CampaignWindow{WindowMS: windowMS, counts: map[string]map[int64]uint64{}}
+}
+
+// Add folds one joined record in and returns the window's updated count.
+func (w *CampaignWindow) Add(campaign string, eventTimeMS int64) uint64 {
+	start := eventTimeMS - eventTimeMS%w.WindowMS
+	byWin := w.counts[campaign]
+	if byWin == nil {
+		byWin = map[int64]uint64{}
+		w.counts[campaign] = byWin
+	}
+	byWin[start]++
+	return byWin[start]
+}
+
+// Count reads a window's count.
+func (w *CampaignWindow) Count(campaign string, windowStartMS int64) uint64 {
+	return w.counts[campaign][windowStartMS]
+}
+
+// AdEventGenerator produces synthetic JSON ad events.
+type AdEventGenerator struct {
+	rng       *stat.RNG
+	ads       []string
+	eventTime int64
+	// ViewFraction is the share of "view" events (default 1/3 as in the
+	// benchmark's view/click/purchase mix).
+	ViewFraction float64
+}
+
+// NewAdEventGenerator builds a generator over the store's ad IDs.
+func NewAdEventGenerator(seed uint64, store *CampaignStore) *AdEventGenerator {
+	ads := make([]string, 0, len(store.mapping))
+	for ad := range store.mapping {
+		ads = append(ads, ad)
+	}
+	// Map iteration order is random; sort for determinism.
+	sortStrings(ads)
+	return &AdEventGenerator{
+		rng:          stat.NewRNG(seed ^ 0x77ee_88ff_99aa_00bb),
+		ads:          ads,
+		eventTime:    1_600_000_000_000,
+		ViewFraction: 1.0 / 3,
+	}
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Next returns one serialized event.
+func (g *AdEventGenerator) Next() []byte {
+	g.eventTime += int64(g.rng.Intn(20))
+	eventType := "view"
+	switch r := g.rng.Float64(); {
+	case r > g.ViewFraction*2:
+		eventType = "purchase"
+	case r > g.ViewFraction:
+		eventType = "click"
+	}
+	ev := AdEvent{
+		UserID:    fmt.Sprintf("user-%05d", g.rng.Intn(100000)),
+		PageID:    fmt.Sprintf("page-%04d", g.rng.Intn(1000)),
+		AdID:      g.ads[g.rng.Intn(len(g.ads))],
+		AdType:    "banner",
+		EventType: eventType,
+		EventTime: g.eventTime,
+		IPAddress: fmt.Sprintf("10.%d.%d.%d", g.rng.Intn(256), g.rng.Intn(256), g.rng.Intn(256)),
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		panic(err) // static struct, cannot fail
+	}
+	return data
+}

@@ -1,0 +1,111 @@
+package kafka
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"autrascale/internal/stat"
+)
+
+// SinusoidalRate models a diurnal workload: rate oscillates around Mean
+// with the given Amplitude and Period. Rates are floored at zero.
+type SinusoidalRate struct {
+	Mean      float64
+	Amplitude float64
+	PeriodSec float64
+	// PhaseSec shifts the wave (0 starts at the mean, rising).
+	PhaseSec float64
+}
+
+// RateAt returns the instantaneous rate.
+func (s SinusoidalRate) RateAt(sec float64) float64 {
+	if s.PeriodSec <= 0 {
+		return s.Mean
+	}
+	r := s.Mean + s.Amplitude*math.Sin(2*math.Pi*(sec+s.PhaseSec)/s.PeriodSec)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// TracePoint is one sample of a recorded rate trace.
+type TracePoint struct {
+	AtSec float64
+	Rate  float64
+}
+
+// TraceSchedule replays a recorded rate trace with linear interpolation
+// between samples; before the first sample it holds the first rate, after
+// the last it holds the last (or loops when Loop is set).
+type TraceSchedule struct {
+	points []TracePoint
+	loop   bool
+	span   float64
+}
+
+// NewTraceSchedule builds a schedule from trace samples. Samples are
+// sorted by time; at least one is required, times must be >= 0 and rates
+// >= 0.
+func NewTraceSchedule(points []TracePoint, loop bool) (*TraceSchedule, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kafka: trace needs at least one point")
+	}
+	ps := append([]TracePoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].AtSec < ps[j].AtSec })
+	for _, p := range ps {
+		if p.AtSec < 0 || p.Rate < 0 {
+			return nil, errors.New("kafka: trace points must be non-negative")
+		}
+	}
+	return &TraceSchedule{points: ps, loop: loop, span: ps[len(ps)-1].AtSec}, nil
+}
+
+// RateAt returns the interpolated trace rate at sec.
+func (t *TraceSchedule) RateAt(sec float64) float64 {
+	ps := t.points
+	if sec <= ps[0].AtSec {
+		return ps[0].Rate
+	}
+	if sec >= t.span {
+		if !t.loop || t.span == 0 {
+			return ps[len(ps)-1].Rate
+		}
+		sec = math.Mod(sec, t.span)
+		if sec <= ps[0].AtSec {
+			return ps[0].Rate
+		}
+	}
+	// Binary search for the segment containing sec.
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].AtSec >= sec })
+	lo, hi := ps[i-1], ps[i]
+	if hi.AtSec == lo.AtSec {
+		return hi.Rate
+	}
+	frac := (sec - lo.AtSec) / (hi.AtSec - lo.AtSec)
+	return lo.Rate + frac*(hi.Rate-lo.Rate)
+}
+
+// NoisyRate wraps a schedule with multiplicative log-normal jitter, for
+// realistic "time-varying rate" inputs (paper §I). The jitter is
+// deterministic in (seed, sec) so the schedule stays reproducible and
+// time-consistent across queries.
+type NoisyRate struct {
+	Base RateSchedule
+	// Sigma is the log-normal sigma (e.g. 0.05 for ±5%-ish).
+	Sigma float64
+	Seed  uint64
+}
+
+// RateAt returns the jittered rate.
+func (n NoisyRate) RateAt(sec float64) float64 {
+	r := n.Base.RateAt(sec)
+	if n.Sigma <= 0 || r <= 0 {
+		return r
+	}
+	// Hash the integer second with the seed into a per-tick RNG so the
+	// jitter is stable for a given time.
+	rng := stat.NewRNG(n.Seed ^ uint64(int64(sec))*0x9e37_79b9_7f4a_7c15)
+	return r * rng.LogNormal(0, n.Sigma)
+}

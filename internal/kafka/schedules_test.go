@@ -1,0 +1,139 @@
+package kafka
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSinusoidalRate(t *testing.T) {
+	s := SinusoidalRate{Mean: 1000, Amplitude: 200, PeriodSec: 3600}
+	if got := s.RateAt(0); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("RateAt(0) = %v, want mean", got)
+	}
+	if got := s.RateAt(900); math.Abs(got-1200) > 1e-9 { // quarter period: peak
+		t.Fatalf("RateAt(quarter) = %v, want 1200", got)
+	}
+	if got := s.RateAt(2700); math.Abs(got-800) > 1e-9 { // three quarters: trough
+		t.Fatalf("RateAt(3/4) = %v, want 800", got)
+	}
+	// Degenerate period returns the mean.
+	if (SinusoidalRate{Mean: 5}).RateAt(123) != 5 {
+		t.Fatal("zero period should return the mean")
+	}
+	// Amplitude > mean floors at zero.
+	deep := SinusoidalRate{Mean: 100, Amplitude: 500, PeriodSec: 100}
+	if deep.RateAt(75) != 0 {
+		t.Fatalf("trough should floor at 0, got %v", deep.RateAt(75))
+	}
+}
+
+// Property: sinusoid stays within [max(0, mean-amp), mean+amp] and is
+// periodic.
+func TestSinusoidalBounds(t *testing.T) {
+	s := SinusoidalRate{Mean: 1000, Amplitude: 300, PeriodSec: 600}
+	f := func(raw float64) bool {
+		sec := math.Mod(math.Abs(raw), 1e6)
+		v := s.RateAt(sec)
+		if v < 700-1e-9 || v > 1300+1e-9 {
+			return false
+		}
+		return math.Abs(s.RateAt(sec)-s.RateAt(sec+600)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceScheduleValidation(t *testing.T) {
+	if _, err := NewTraceSchedule(nil, false); err == nil {
+		t.Fatal("empty trace should error")
+	}
+	if _, err := NewTraceSchedule([]TracePoint{{AtSec: -1, Rate: 1}}, false); err == nil {
+		t.Fatal("negative time should error")
+	}
+	if _, err := NewTraceSchedule([]TracePoint{{AtSec: 0, Rate: -1}}, false); err == nil {
+		t.Fatal("negative rate should error")
+	}
+}
+
+func TestTraceScheduleInterpolation(t *testing.T) {
+	tr, err := NewTraceSchedule([]TracePoint{
+		{AtSec: 100, Rate: 200}, {AtSec: 0, Rate: 100}, {AtSec: 200, Rate: 100},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ sec, want float64 }{
+		{-10, 100}, {0, 100}, {50, 150}, {100, 200}, {150, 150}, {200, 100}, {1e6, 100},
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(c.sec); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("RateAt(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestTraceScheduleLoop(t *testing.T) {
+	tr, err := NewTraceSchedule([]TracePoint{
+		{AtSec: 0, Rate: 100}, {AtSec: 100, Rate: 300},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.RateAt(150); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("looped RateAt(150) = %v, want 200 (as t=50)", got)
+	}
+	// Single-point trace never divides by zero even when looping.
+	one, err := NewTraceSchedule([]TracePoint{{AtSec: 0, Rate: 42}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.RateAt(999) != 42 {
+		t.Fatal("single-point loop should hold the rate")
+	}
+}
+
+func TestNoisyRate(t *testing.T) {
+	n := NoisyRate{Base: ConstantRate(1000), Sigma: 0.05, Seed: 7}
+	// Deterministic per (seed, second).
+	if n.RateAt(10) != n.RateAt(10) {
+		t.Fatal("jitter must be stable for a given time")
+	}
+	// Values stay positive and near the base.
+	var sum float64
+	const samples = 2000
+	for i := 0; i < samples; i++ {
+		v := n.RateAt(float64(i))
+		if v <= 0 {
+			t.Fatalf("non-positive rate %v", v)
+		}
+		sum += v
+	}
+	mean := sum / samples
+	if math.Abs(mean-1000) > 30 {
+		t.Fatalf("jittered mean = %v, want ~1000", mean)
+	}
+	// Zero sigma passes through.
+	clean := NoisyRate{Base: ConstantRate(500)}
+	if clean.RateAt(3) != 500 {
+		t.Fatal("zero sigma should pass through")
+	}
+}
+
+// A topic driven by a sinusoidal schedule conserves flow like any other.
+func TestTopicWithSinusoid(t *testing.T) {
+	topic, err := NewTopic("diurnal", 4, SinusoidalRate{Mean: 1000, Amplitude: 500, PeriodSec: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := 0.0
+	for i := 0; i < 300; i++ {
+		topic.Produce(sec, 1)
+		sec++
+		topic.Consume(900)
+	}
+	if math.Abs(topic.Produced()-topic.Consumed()-topic.Lag()) > 1e-6 {
+		t.Fatal("conservation violated")
+	}
+}

@@ -1,0 +1,147 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix // lower triangular, n x n
+	n int
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrNotPositiveDefinite when a
+// pivot is non-positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("mat: Cholesky of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal element.
+		d := a.At(j, j)
+		lj := l.RawRow(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		lj[j] = d
+		// Column below the diagonal.
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.RawRow(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s / d
+		}
+	}
+	return &Cholesky{l: l, n: n}, nil
+}
+
+// NewCholeskyJittered repeatedly attempts the factorization, adding an
+// exponentially growing jitter to the diagonal until it succeeds or the
+// jitter exceeds maxJitter. It returns the factor and the jitter used.
+// This is the standard trick for nearly-singular GP kernel matrices.
+func NewCholeskyJittered(a *Matrix, startJitter, maxJitter float64) (*Cholesky, float64, error) {
+	if c, err := NewCholesky(a); err == nil {
+		return c, 0, nil
+	}
+	for j := startJitter; j <= maxJitter; j *= 10 {
+		aj := a.Clone().AddDiag(j)
+		if c, err := NewCholesky(aj); err == nil {
+			return c, j, nil
+		}
+	}
+	return nil, 0, ErrNotPositiveDefinite
+}
+
+// Size returns the dimension n.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// SolveVec solves A·x = b using the factorization (forward then backward
+// substitution).
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: SolveVec length %d != %d", len(b), c.n))
+	}
+	y := c.solveLower(b)
+	return c.solveUpper(y)
+}
+
+// solveLower solves L·y = b.
+func (c *Cholesky) solveLower(b []float64) []float64 {
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		row := c.l.RawRow(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// solveUpper solves Lᵀ·x = y.
+func (c *Cholesky) solveUpper(y []float64) []float64 {
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// SolveLowerVec solves L·y = b (exported for GP predictive variance, which
+// needs only the forward substitution).
+func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: SolveLowerVec length %d != %d", len(b), c.n))
+	}
+	return c.solveLower(b)
+}
+
+// LogDet returns log(det(A)) = 2·Σ log(L[i,i]).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// Reconstruct returns L·Lᵀ, useful for verification.
+func (c *Cholesky) Reconstruct() *Matrix {
+	out := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		li := c.l.RawRow(i)
+		for j := 0; j <= i; j++ {
+			lj := c.l.RawRow(j)
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += li[k] * lj[k]
+			}
+			out.Set(i, j, s)
+			out.Set(j, i, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := c.L()
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("L = %v", l)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+// Property: L·Lᵀ reconstructs A for random SPD matrices.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		return c.Reconstruct().MaxAbsDiff(a) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveVec produces x with A·x ≈ b.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*rng.Float64() - 1
+		}
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := c.SolveVec(b)
+		r := Sub(a.MulVec(x), b)
+		return Norm2(r) < 1e-8*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	// det([[4,2],[2,3]]) = 8.
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.LogDet()-math.Log(8)) > 1e-12 {
+		t.Fatalf("LogDet = %v, want %v", c.LogDet(), math.Log(8))
+	}
+}
+
+func TestCholeskySolveLowerVec(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 2, 2, 3})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 4}
+	y := c.SolveLowerVec(b)
+	// Check L·y = b.
+	l := c.L()
+	got := l.MulVec(y)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-12 {
+			t.Fatalf("L·y = %v, want %v", got, b)
+		}
+	}
+}
+
+func TestCholeskyJittered(t *testing.T) {
+	// Singular PSD matrix: ones(2,2). Plain Cholesky fails; jittered works.
+	a := NewMatrixFrom(2, 2, []float64{1, 1, 1, 1})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected plain Cholesky to fail on a singular matrix")
+	}
+	c, jitter, err := NewCholeskyJittered(a, 1e-10, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter <= 0 {
+		t.Fatalf("jitter = %v, want > 0", jitter)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+}
+
+func TestCholeskyJitteredNoJitterNeeded(t *testing.T) {
+	a := Identity(3)
+	c, jitter, err := NewCholeskyJittered(a, 1e-10, 1e-2)
+	if err != nil || jitter != 0 || c == nil {
+		t.Fatalf("got c=%v jitter=%v err=%v", c, jitter, err)
+	}
+}
+
+func TestCholeskyJitteredGivesUp(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{-5, 0, 0, -5})
+	if _, _, err := NewCholeskyJittered(a, 1e-10, 1e-9); err == nil {
+		t.Fatal("expected failure for a strongly negative-definite matrix")
+	}
+}
+
+func TestSolveVecPanicsOnBadLength(t *testing.T) {
+	c, err := NewCholesky(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.SolveVec([]float64{1})
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Mul returns a·b. For matrices with many rows the row loop is sharded
+// across GOMAXPROCS workers; each worker owns a disjoint row range of the
+// output, so no synchronization on the data is needed.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic("mat: Mul shape mismatch")
+	}
+	out := NewMatrix(a.rows, b.cols)
+	mulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	const minRowsPerWorker = 64
+	if workers <= 1 || a.rows < 2*minRowsPerWorker {
+		mulRange(0, a.rows)
+		return out
+	}
+	if workers > a.rows/minRowsPerWorker {
+		workers = a.rows / minRowsPerWorker
+	}
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.rows {
+			hi = a.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Sub returns x - y as a new slice.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: Sub length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - y[i]
+	}
+	return out
+}
+
+// AddVec returns x + y as a new slice.
+func AddVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: AddVec length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v + y[i]
+	}
+	return out
+}
+
+// ScaleVec returns s·x as a new slice.
+func ScaleVec(s float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = s * v
+	}
+	return out
+}
+
+// CopyVec returns a copy of x.
+func CopyVec(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// SqDist returns the squared Euclidean distance between x and y.
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: SqDist length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// AlmostEqual reports |a-b| <= tol, treating NaN as unequal.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,69 @@
+package metrics
+
+// Aggregator is the paper's Metric Aggregator (Analyze stage): it rolls
+// per-instance series up into per-operator totals/averages over a window,
+// the inputs to the Scaling Manager and Policy Controller.
+type Aggregator struct {
+	store *Store
+}
+
+// NewAggregator wraps a store.
+func NewAggregator(store *Store) *Aggregator {
+	return &Aggregator{store: store}
+}
+
+// OperatorTotal sums, over all instances of the operator (series tagged
+// operator=op), the per-instance window means of the metric. This matches
+// "calculating the total processing rate of all instances of each
+// operator" from §IV.
+func (a *Aggregator) OperatorTotal(metric, job, op string, from, to float64) float64 {
+	keys := a.store.SeriesMatching(metric, map[string]string{"job": job, "operator": op})
+	var total float64
+	for _, k := range keys {
+		pts := a.store.WindowByKey(k, from, to)
+		if len(pts) == 0 {
+			continue
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Value
+		}
+		total += sum / float64(len(pts))
+	}
+	return total
+}
+
+// OperatorMean returns the average per-instance window mean across the
+// operator's instances (v̄_i in the paper), plus the instance count seen.
+func (a *Aggregator) OperatorMean(metric, job, op string, from, to float64) (float64, int) {
+	keys := a.store.SeriesMatching(metric, map[string]string{"job": job, "operator": op})
+	var total float64
+	n := 0
+	for _, k := range keys {
+		pts := a.store.WindowByKey(k, from, to)
+		if len(pts) == 0 {
+			continue
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Value
+		}
+		total += sum / float64(len(pts))
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return total / float64(n), n
+}
+
+// JobMean returns the window mean of a job-level metric (tagged job=job
+// with no operator tag), and the sample count.
+func (a *Aggregator) JobMean(metric, job string, from, to float64) (float64, int) {
+	return a.store.WindowMean(metric, map[string]string{"job": job}, from, to)
+}
+
+// JobLatest returns the latest sample of a job-level metric.
+func (a *Aggregator) JobLatest(metric, job string) (Point, bool) {
+	return a.store.Latest(metric, map[string]string{"job": job})
+}

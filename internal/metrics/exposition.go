@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteExposition renders the latest sample of every series in the
+// Prometheus text exposition format (the interface the paper's Monitor
+// stage would expose to an external scraper). Metric names are sanitized
+// to the Prometheus charset; tags become labels.
+//
+// Example output line:
+//
+//	taskmanager_job_task_trueProcessingRate{job="wc",operator="Count"} 29700 1234000
+func (s *Store) WriteExposition(w io.Writer) error {
+	s.mu.RLock()
+	keys := make([]SeriesKey, 0, len(s.series))
+	for k := range s.series {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Tags < keys[j].Tags
+	})
+	for _, k := range keys {
+		s.mu.RLock()
+		pts := s.series[k]
+		var last Point
+		ok := len(pts) > 0
+		if ok {
+			last = pts[len(pts)-1]
+		}
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %g %d\n",
+			sanitizeMetricName(k.Name), formatLabels(k.Tags),
+			last.Value, int64(last.TimeSec*1000)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps a dotted metric path onto the Prometheus
+// charset [a-zA-Z0-9_:].
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders the canonical tag encoding as a Prometheus label
+// set.
+func formatLabels(encoded string) string {
+	if encoded == "" {
+		return ""
+	}
+	parts := strings.Split(encoded, ",")
+	labels := make([]string, 0, len(parts))
+	for _, p := range parts {
+		kv := strings.SplitN(p, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		labels = append(labels, fmt.Sprintf("%s=%q", sanitizeMetricName(kv[0]), kv[1]))
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteExposition(t *testing.T) {
+	s := NewStore()
+	tags := map[string]string{"job": "wc", "operator": "Count"}
+	s.MustRecord("taskmanager.job.task.trueProcessingRate", tags, 1, 100)
+	s.MustRecord("taskmanager.job.task.trueProcessingRate", tags, 2, 29700)
+	s.MustRecord("kafka.consumer.recordsLag", map[string]string{"job": "wc"}, 2, 12345)
+
+	var buf bytes.Buffer
+	if err := s.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `taskmanager_job_task_trueProcessingRate{job="wc",operator="Count"} 29700 2000`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing %q in:\n%s", want, out)
+	}
+	if !strings.Contains(out, `kafka_consumer_recordsLag{job="wc"} 12345 2000`) {
+		t.Fatalf("missing lag line in:\n%s", out)
+	}
+	// Only the latest sample per series.
+	if strings.Contains(out, " 100 ") {
+		t.Fatalf("stale sample exposed:\n%s", out)
+	}
+	// Deterministic ordering: lag (k...) before taskmanager (t...).
+	if strings.Index(out, "kafka_consumer") > strings.Index(out, "taskmanager_") {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+}
+
+func TestWriteExpositionEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty store should write nothing, got %q", buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"a.b.c":      "a_b_c",
+		"9lives":     "_9lives",
+		"ok_name:x2": "ok_name:x2",
+		"sp ace":     "sp_ace",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatLabels(t *testing.T) {
+	if formatLabels("") != "" {
+		t.Fatal("no tags should render empty")
+	}
+	got := formatLabels("a=1,b=two")
+	if got != `{a="1",b="two"}` {
+		t.Fatalf("formatLabels = %q", got)
+	}
+}

@@ -1,0 +1,211 @@
+// Package metrics is the in-memory substitute for the paper's InfluxDB
+// deployment: a tagged time-series store with windowed queries, plus the
+// Metric Aggregator of the paper's Analyze stage, which rolls per-instance
+// series up to per-operator totals and averages.
+//
+// Series names follow the Flink metric path convention the paper cites,
+// e.g. "taskmanager.job.task.trueProcessingRate".
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	TimeSec float64
+	Value   float64
+}
+
+// SeriesKey identifies a series: a metric name plus sorted tag pairs.
+type SeriesKey struct {
+	Name string
+	Tags string // canonical "k1=v1,k2=v2" encoding
+}
+
+// EncodeTags canonicalizes a tag map.
+func EncodeTags(tags map[string]string) string {
+	if len(tags) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + tags[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Store is a concurrency-safe time-series database.
+type Store struct {
+	mu     sync.RWMutex
+	series map[SeriesKey][]Point
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: map[SeriesKey][]Point{}}
+}
+
+// Record appends a sample. Samples are expected in non-decreasing time
+// order per series (the simulator guarantees this); out-of-order samples
+// are rejected with an error.
+func (s *Store) Record(name string, tags map[string]string, t, v float64) error {
+	key := SeriesKey{Name: name, Tags: EncodeTags(tags)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[key]
+	if n := len(pts); n > 0 && pts[n-1].TimeSec > t {
+		return fmt.Errorf("metrics: out-of-order sample for %s@%s: %v after %v",
+			name, key.Tags, t, pts[n-1].TimeSec)
+	}
+	s.series[key] = append(pts, Point{TimeSec: t, Value: v})
+	return nil
+}
+
+// MustRecord is Record but panics on error (simulator-internal writes are
+// ordered by construction).
+func (s *Store) MustRecord(name string, tags map[string]string, t, v float64) {
+	if err := s.Record(name, tags, t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Latest returns the most recent sample of the series, or false.
+func (s *Store) Latest(name string, tags map[string]string) (Point, bool) {
+	key := SeriesKey{Name: name, Tags: EncodeTags(tags)}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pts := s.series[key]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Window returns the samples with TimeSec in [from, to].
+func (s *Store) Window(name string, tags map[string]string, from, to float64) []Point {
+	key := SeriesKey{Name: name, Tags: EncodeTags(tags)}
+	s.mu.RLock()
+	pts := s.series[key]
+	s.mu.RUnlock()
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].TimeSec >= from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].TimeSec > to })
+	out := make([]Point, hi-lo)
+	copy(out, pts[lo:hi])
+	return out
+}
+
+// WindowMean returns the mean value over [from, to] and the sample count.
+func (s *Store) WindowMean(name string, tags map[string]string, from, to float64) (float64, int) {
+	pts := s.Window(name, tags, from, to)
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.Value
+	}
+	return sum / float64(len(pts)), len(pts)
+}
+
+// SeriesNames returns the distinct metric names currently stored.
+func (s *Store) SeriesNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := map[string]bool{}
+	for k := range s.series {
+		set[k.Name] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesMatching returns the keys whose name equals name and whose tags
+// contain all of the filter pairs.
+func (s *Store) SeriesMatching(name string, filter map[string]string) []SeriesKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SeriesKey
+	for k := range s.series {
+		if k.Name != name {
+			continue
+		}
+		if matchesTags(k.Tags, filter) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tags < out[j].Tags })
+	return out
+}
+
+func matchesTags(encoded string, filter map[string]string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	have := map[string]string{}
+	if encoded != "" {
+		for _, part := range strings.Split(encoded, ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) == 2 {
+				have[kv[0]] = kv[1]
+			}
+		}
+	}
+	for k, v := range filter {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// WindowByKey returns samples for an exact series key in [from, to].
+func (s *Store) WindowByKey(key SeriesKey, from, to float64) []Point {
+	s.mu.RLock()
+	pts := s.series[key]
+	s.mu.RUnlock()
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].TimeSec >= from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].TimeSec > to })
+	out := make([]Point, hi-lo)
+	copy(out, pts[lo:hi])
+	return out
+}
+
+// Len returns the number of stored series.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
+}
+
+// Clear drops all series.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.series = map[SeriesKey][]Point{}
+}
+
+// Canonical metric names (Flink-style paths as exposed in the paper §V-E).
+const (
+	MetricTrueProcessingRate = "taskmanager.job.task.trueProcessingRate"
+	MetricObservedRate       = "taskmanager.job.task.observedProcessingRate"
+	MetricInputRate          = "taskmanager.job.task.numRecordsInPerSecond"
+	MetricOutputRate         = "taskmanager.job.task.numRecordsOutPerSecond"
+	MetricLatencyMS          = "taskmanager.job.latency"
+	MetricEventTimeLatencyMS = "taskmanager.job.eventTimeLatency"
+	MetricThroughput         = "taskmanager.job.throughput"
+	MetricKafkaLag           = "kafka.consumer.recordsLag"
+	MetricBusyFraction       = "taskmanager.job.task.busyTimeMsPerSecond"
+)

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"autrascale/internal/stat"
+)
+
+func TestEncodeTags(t *testing.T) {
+	if EncodeTags(nil) != "" {
+		t.Fatal("nil tags should encode empty")
+	}
+	got := EncodeTags(map[string]string{"b": "2", "a": "1"})
+	if got != "a=1,b=2" {
+		t.Fatalf("EncodeTags = %q", got)
+	}
+}
+
+func TestRecordAndLatest(t *testing.T) {
+	s := NewStore()
+	tags := map[string]string{"job": "wc"}
+	if err := s.Record("m", tags, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record("m", tags, 2, 20); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.Latest("m", tags)
+	if !ok || p.Value != 20 || p.TimeSec != 2 {
+		t.Fatalf("Latest = %v, %v", p, ok)
+	}
+	if _, ok := s.Latest("missing", nil); ok {
+		t.Fatal("missing series should not be found")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	s := NewStore()
+	_ = s.Record("m", nil, 5, 1)
+	if err := s.Record("m", nil, 4, 1); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRecord should panic on error")
+		}
+	}()
+	s.MustRecord("m", nil, 3, 1)
+}
+
+func TestWindowQueries(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.MustRecord("m", nil, float64(i), float64(i)*10)
+	}
+	w := s.Window("m", nil, 2, 5)
+	if len(w) != 4 || w[0].TimeSec != 2 || w[3].TimeSec != 5 {
+		t.Fatalf("Window = %v", w)
+	}
+	mean, n := s.WindowMean("m", nil, 2, 5)
+	if n != 4 || math.Abs(mean-35) > 1e-9 {
+		t.Fatalf("WindowMean = %v, %d", mean, n)
+	}
+	if mean, n := s.WindowMean("m", nil, 100, 200); n != 0 || mean != 0 {
+		t.Fatal("empty window should be (0, 0)")
+	}
+}
+
+func TestSeriesDiscovery(t *testing.T) {
+	s := NewStore()
+	s.MustRecord("rate", map[string]string{"job": "wc", "operator": "map", "instance": "0"}, 0, 1)
+	s.MustRecord("rate", map[string]string{"job": "wc", "operator": "map", "instance": "1"}, 0, 2)
+	s.MustRecord("rate", map[string]string{"job": "wc", "operator": "sink", "instance": "0"}, 0, 3)
+	s.MustRecord("lat", map[string]string{"job": "wc"}, 0, 4)
+
+	names := s.SeriesNames()
+	if len(names) != 2 || names[0] != "lat" || names[1] != "rate" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+	keys := s.SeriesMatching("rate", map[string]string{"operator": "map"})
+	if len(keys) != 2 {
+		t.Fatalf("SeriesMatching = %v", keys)
+	}
+	all := s.SeriesMatching("rate", nil)
+	if len(all) != 3 {
+		t.Fatalf("SeriesMatching(nil) = %v", all)
+	}
+	none := s.SeriesMatching("rate", map[string]string{"operator": "nope"})
+	if len(none) != 0 {
+		t.Fatalf("expected no matches, got %v", none)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	pts := s.WindowByKey(keys[0], 0, 10)
+	if len(pts) != 1 {
+		t.Fatalf("WindowByKey = %v", pts)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tags := map[string]string{"instance": fmt.Sprint(w)}
+			for i := 0; i < 500; i++ {
+				s.MustRecord("m", tags, float64(i), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	for w := 0; w < 8; w++ {
+		pts := s.Window("m", map[string]string{"instance": fmt.Sprint(w)}, 0, 1e9)
+		if len(pts) != 500 {
+			t.Fatalf("instance %d has %d points", w, len(pts))
+		}
+	}
+}
+
+// Property: WindowMean over the full range equals the mean of all writes.
+func TestWindowMeanProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stat.NewRNG(seed)
+		s := NewStore()
+		n := 1 + r.Intn(50)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Float64() * 100
+			sum += v
+			s.MustRecord("m", nil, float64(i), v)
+		}
+		mean, cnt := s.WindowMean("m", nil, 0, float64(n))
+		return cnt == n && math.Abs(mean-sum/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	s := NewStore()
+	agg := NewAggregator(s)
+	// Two instances of "map" with rates 100 and 200; one "sink" at 50.
+	for tick := 0; tick < 5; tick++ {
+		ts := float64(tick)
+		s.MustRecord(MetricTrueProcessingRate, map[string]string{"job": "wc", "operator": "map", "instance": "0"}, ts, 100)
+		s.MustRecord(MetricTrueProcessingRate, map[string]string{"job": "wc", "operator": "map", "instance": "1"}, ts, 200)
+		s.MustRecord(MetricTrueProcessingRate, map[string]string{"job": "wc", "operator": "sink", "instance": "0"}, ts, 50)
+		s.MustRecord(MetricLatencyMS, map[string]string{"job": "wc"}, ts, 80+ts)
+	}
+	if total := agg.OperatorTotal(MetricTrueProcessingRate, "wc", "map", 0, 4); math.Abs(total-300) > 1e-9 {
+		t.Fatalf("OperatorTotal = %v, want 300", total)
+	}
+	mean, n := agg.OperatorMean(MetricTrueProcessingRate, "wc", "map", 0, 4)
+	if n != 2 || math.Abs(mean-150) > 1e-9 {
+		t.Fatalf("OperatorMean = %v, %d", mean, n)
+	}
+	if mean, n := agg.OperatorMean(MetricTrueProcessingRate, "wc", "missing", 0, 4); n != 0 || mean != 0 {
+		t.Fatal("missing operator should be (0, 0)")
+	}
+	jm, n := agg.JobMean(MetricLatencyMS, "wc", 0, 4)
+	if n != 5 || math.Abs(jm-82) > 1e-9 {
+		t.Fatalf("JobMean = %v, %d", jm, n)
+	}
+	p, ok := agg.JobLatest(MetricLatencyMS, "wc")
+	if !ok || p.Value != 84 {
+		t.Fatalf("JobLatest = %v, %v", p, ok)
+	}
+	// Window past the data is empty → totals are zero.
+	if total := agg.OperatorTotal(MetricTrueProcessingRate, "wc", "map", 50, 60); total != 0 {
+		t.Fatalf("stale window total = %v", total)
+	}
+}

@@ -1,0 +1,55 @@
+package stat
+
+import "math"
+
+// EWMA is an exponentially weighted moving average, the standard smoother
+// for noisy rate signals: the controller should re-plan on sustained rate
+// shifts, not on per-window jitter.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns a smoother with weight alpha in (0, 1]; higher alpha
+// follows the signal faster.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stat: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a sample in and returns the updated average. The first
+// sample initializes the average.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return x
+	}
+	e.value += e.alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average (0 before any samples).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Started reports whether any sample has been observed.
+func (e *EWMA) Started() bool { return e.started }
+
+// Reset clears the smoother.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.started = false
+}
+
+// HalfLifeAlpha converts a half-life expressed in samples into the
+// corresponding EWMA alpha: after halfLife samples, an impulse decays to
+// half its weight.
+func HalfLifeAlpha(halfLife float64) float64 {
+	if halfLife <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(math.Ln2/-halfLife)
+}

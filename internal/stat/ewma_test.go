@@ -1,0 +1,79 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMABasics(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Started() || e.Value() != 0 {
+		t.Fatal("fresh EWMA should be unstarted")
+	}
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("first sample should initialize: %v", got)
+	}
+	if got := e.Observe(20); got != 15 {
+		t.Fatalf("Observe = %v, want 15", got)
+	}
+	if got := e.Observe(20); got != 17.5 {
+		t.Fatalf("Observe = %v, want 17.5", got)
+	}
+	e.Reset()
+	if e.Started() || e.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 100; i++ {
+		e.Observe(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("EWMA of constant = %v", e.Value())
+	}
+}
+
+func TestEWMATracksStep(t *testing.T) {
+	e := NewEWMA(0.3)
+	e.Observe(100)
+	for i := 0; i < 30; i++ {
+		e.Observe(200)
+	}
+	if math.Abs(e.Value()-200) > 1 {
+		t.Fatalf("EWMA should converge to the new level: %v", e.Value())
+	}
+}
+
+func TestNewEWMAPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v should panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+	NewEWMA(1) // boundary is legal
+}
+
+func TestHalfLifeAlpha(t *testing.T) {
+	// After `halfLife` identical decay steps, the residual weight of an
+	// impulse should be 1/2.
+	for _, hl := range []float64{1, 4, 16} {
+		alpha := HalfLifeAlpha(hl)
+		if alpha <= 0 || alpha > 1 {
+			t.Fatalf("alpha(%v) = %v", hl, alpha)
+		}
+		residual := math.Pow(1-alpha, hl)
+		if math.Abs(residual-0.5) > 1e-9 {
+			t.Fatalf("half-life %v: residual = %v, want 0.5", hl, residual)
+		}
+	}
+	if HalfLifeAlpha(0) != 1 || HalfLifeAlpha(-2) != 1 {
+		t.Fatal("degenerate half-life should be alpha 1")
+	}
+}

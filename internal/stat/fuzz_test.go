@@ -1,0 +1,61 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormQuantile: for any p in (0,1), Q(p) is finite and CDF(Q(p)) ≈ p;
+// outside [0,1] it is NaN; at the boundaries it is ±Inf.
+func FuzzNormQuantile(f *testing.F) {
+	for _, p := range []float64{0.5, 0.001, 0.999, 1e-9, 1 - 1e-12, -1, 2, 0, 1} {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, p float64) {
+		x := NormQuantile(p)
+		switch {
+		case math.IsNaN(p) || p < 0 || p > 1:
+			if !math.IsNaN(x) {
+				t.Fatalf("Q(%v) = %v, want NaN", p, x)
+			}
+		case p == 0:
+			if !math.IsInf(x, -1) {
+				t.Fatalf("Q(0) = %v", x)
+			}
+		case p == 1:
+			if !math.IsInf(x, 1) {
+				t.Fatalf("Q(1) = %v", x)
+			}
+		default:
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("Q(%v) = %v, want finite", p, x)
+			}
+			if d := math.Abs(NormCDF(x) - p); d > 1e-6 {
+				t.Fatalf("CDF(Q(%v)) off by %v", p, d)
+			}
+		}
+	})
+}
+
+// FuzzHistogram: any observation stream keeps totals consistent and
+// quantiles within [Lo, Hi].
+func FuzzHistogram(f *testing.F) {
+	f.Add(uint64(1), uint8(10))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint8) {
+		r := NewRNG(seed)
+		h := NewHistogram(-50, 50, 8)
+		count := int(n)%64 + 1
+		for i := 0; i < count; i++ {
+			h.Observe(r.NormalMS(0, 40)) // often outside the range: clamps
+		}
+		if h.Total() != count {
+			t.Fatalf("Total = %d, want %d", h.Total(), count)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := h.Quantile(q)
+			if v < -50 || v > 50 {
+				t.Fatalf("Quantile(%v) = %v outside range", q, v)
+			}
+		}
+	})
+}

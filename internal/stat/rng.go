@@ -1,0 +1,157 @@
+// Package stat provides the statistical primitives the rest of the system
+// relies on: a reproducible PRNG, the standard normal distribution (PDF,
+// CDF, quantile), common sampling distributions for workload generation
+// (exponential, Poisson, log-normal, Zipf), and descriptive statistics
+// (mean, variance, percentiles, histograms).
+//
+// Everything is deterministic given a seed so simulations and experiments
+// reproduce exactly.
+package stat
+
+import "math"
+
+// RNG is a small, fast, reproducible pseudo-random generator based on
+// SplitMix64. It is not safe for concurrent use; give each goroutine its
+// own RNG (see Split).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// next advances the SplitMix64 state and returns the next 64 random bits.
+func (r *RNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns a uniformly random 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.next() }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stat: Intn with n <= 0")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Split derives an independent child generator; useful to hand each
+// simulated component its own stream without sharing state.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.next())
+}
+
+// Normal returns a standard normal sample (Box–Muller, one value per call).
+func (r *RNG) Normal() float64 {
+	// Guard against log(0).
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormalMS returns a normal sample with the given mean and standard
+// deviation.
+func (r *RNG) NormalMS(mean, std float64) float64 {
+	return mean + std*r.Normal()
+}
+
+// Exp returns an exponential sample with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stat: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Poisson returns a Poisson sample with the given mean. For large means it
+// uses the normal approximation; for small means, Knuth's product method.
+func (r *RNG) Poisson(mean float64) int {
+	if mean < 0 {
+		panic("stat: Poisson with negative mean")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := r.NormalMS(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormalMS(mu, sigma))
+}
+
+// Zipf samples from {0, ..., n-1} with probability proportional to
+// 1/(i+1)^s, via inverse-CDF over precomputed weights for small n. For the
+// simulator's word distributions n is small, so O(n) per sample is fine.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s > 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("stat: NewZipf requires n > 0 and s > 0")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next Zipf sample in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

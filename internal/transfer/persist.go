@@ -1,0 +1,107 @@
+package transfer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"autrascale/internal/gp"
+)
+
+// Persistence: a controller restart must not lose the benefit models the
+// paper's Plan stage accumulated (§IV: "the accuracy of the model will
+// gradually increase as the training data increases during the job
+// runs"). Models are persisted as their training data — (inputs, targets)
+// per rate — and refitted on load; that keeps the format tiny, stable,
+// and independent of GP internals.
+
+// libraryDoc is the serialized form of a ModelLibrary.
+type libraryDoc struct {
+	Version int        `json:"version"`
+	Models  []modelDoc `json:"models"`
+}
+
+type modelDoc struct {
+	RateRPS float64     `json:"rate_rps"`
+	Inputs  [][]float64 `json:"inputs"`
+	Targets []float64   `json:"targets"`
+}
+
+// TrainingData is implemented by models that can expose their training
+// set for persistence. gp.Regressor-backed entries qualify via Snapshot.
+type TrainingData interface {
+	TrainingData() (xs [][]float64, ys []float64)
+}
+
+// Snapshot wraps a Predictor with its training data so the library can
+// persist and reconstruct it.
+type Snapshot struct {
+	model *gp.Regressor
+	xs    [][]float64
+	ys    []float64
+}
+
+// NewSnapshot fits a GP on (xs, ys) and returns a persistable model.
+func NewSnapshot(xs [][]float64, ys []float64) (*Snapshot, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, errors.New("transfer: snapshot needs matching, non-empty training data")
+	}
+	m, err := gp.FitAuto(xs, ys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		return nil, err
+	}
+	cx := make([][]float64, len(xs))
+	for i, x := range xs {
+		cx[i] = append([]float64(nil), x...)
+	}
+	return &Snapshot{model: m, xs: cx, ys: append([]float64(nil), ys...)}, nil
+}
+
+// PredictMean implements Predictor.
+func (s *Snapshot) PredictMean(x []float64) float64 { return s.model.PredictMean(x) }
+
+// TrainingData implements TrainingData.
+func (s *Snapshot) TrainingData() ([][]float64, []float64) { return s.xs, s.ys }
+
+// Save writes the library's persistable entries as JSON. Entries whose
+// models do not expose training data are skipped and counted in the
+// returned value.
+func (l *ModelLibrary) Save(w io.Writer) (skipped int, err error) {
+	doc := libraryDoc{Version: 1}
+	for _, e := range l.entries {
+		td, ok := e.Model.(TrainingData)
+		if !ok {
+			skipped++
+			continue
+		}
+		xs, ys := td.TrainingData()
+		doc.Models = append(doc.Models, modelDoc{RateRPS: e.RateRPS, Inputs: xs, Targets: ys})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return skipped, enc.Encode(doc)
+}
+
+// LoadLibrary reads a library previously written by Save, refitting each
+// model from its training data.
+func LoadLibrary(r io.Reader) (*ModelLibrary, error) {
+	var doc libraryDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("transfer: decode library: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("transfer: unsupported library version %d", doc.Version)
+	}
+	lib := NewModelLibrary()
+	for _, m := range doc.Models {
+		snap, err := NewSnapshot(m.Inputs, m.Targets)
+		if err != nil {
+			return nil, fmt.Errorf("transfer: refit model at %v rps: %w", m.RateRPS, err)
+		}
+		if err := lib.Put(m.RateRPS, snap); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}

@@ -1,0 +1,157 @@
+package transfer
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"autrascale/internal/gp"
+)
+
+func sampleSnapshot(t *testing.T, slope float64) *Snapshot {
+	t.Helper()
+	var xs [][]float64
+	var ys []float64
+	for k := 1.0; k <= 10; k++ {
+		xs = append(xs, []float64{k})
+		ys = append(ys, slope*k)
+	}
+	s, err := NewSnapshot(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSnapshotValidation(t *testing.T) {
+	if _, err := NewSnapshot(nil, nil); err == nil {
+		t.Fatal("empty data should error")
+	}
+	if _, err := NewSnapshot([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestSnapshotPredicts(t *testing.T) {
+	s := sampleSnapshot(t, 0.1)
+	if got := s.PredictMean([]float64{5}); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("PredictMean(5) = %v, want ~0.5", got)
+	}
+	xs, ys := s.TrainingData()
+	if len(xs) != 10 || len(ys) != 10 {
+		t.Fatal("training data lost")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	lib := NewModelLibrary()
+	if err := lib.Put(1000, sampleSnapshot(t, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Put(2000, sampleSnapshot(t, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	skipped, err := lib.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+
+	loaded, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d models", loaded.Len())
+	}
+	rates := loaded.Rates()
+	if rates[0] != 1000 || rates[1] != 2000 {
+		t.Fatalf("rates = %v", rates)
+	}
+	// Predictions survive the round trip (refit on identical data).
+	orig, _ := lib.Get(1000)
+	re, _ := loaded.Get(1000)
+	for _, k := range []float64{2, 5, 8} {
+		a := orig.PredictMean([]float64{k})
+		b := re.PredictMean([]float64{k})
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("prediction drifted at %v: %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestSaveSkipsOpaqueModels(t *testing.T) {
+	lib := NewModelLibrary()
+	_ = lib.Put(500, fnPredictor(func(x []float64) float64 { return 1 })) // no training data
+	_ = lib.Put(1000, sampleSnapshot(t, 0.1))
+	var buf bytes.Buffer
+	skipped, err := lib.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	loaded, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("loaded %d, want the one persistable model", loaded.Len())
+	}
+}
+
+func TestLoadLibraryErrors(t *testing.T) {
+	if _, err := LoadLibrary(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	if _, err := LoadLibrary(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("unknown version should error")
+	}
+	bad := `{"version":1,"models":[{"rate_rps":100,"inputs":[],"targets":[]}]}`
+	if _, err := LoadLibrary(strings.NewReader(bad)); err == nil {
+		t.Fatal("empty training data should error")
+	}
+}
+
+// A gp.Regressor stored directly in the library (what the controller
+// does) is persistable because it exposes its training data.
+func TestSaveControllerStyleRegressor(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for k := 1.0; k <= 8; k++ {
+		xs = append(xs, []float64{k})
+		ys = append(ys, 1/k)
+	}
+	model, err := gp.FitAuto(xs, ys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := NewModelLibrary()
+	if err := lib.Put(4242, model); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	skipped, err := lib.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatal("gp.Regressor should be persistable")
+	}
+	loaded, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.Get(4242)
+	if !ok {
+		t.Fatal("model missing after load")
+	}
+	if d := math.Abs(got.PredictMean([]float64{4}) - model.PredictMean([]float64{4})); d > 1e-9 {
+		t.Fatalf("prediction drift %v", d)
+	}
+}

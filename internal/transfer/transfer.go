@@ -1,0 +1,151 @@
+// Package transfer implements AuTraScale's transfer-learning method
+// (paper §III-F, Algorithm 2). When the input data rate changes, training
+// a benefit model from scratch is too expensive, so AuTraScale:
+//
+//  1. picks the existing benefit model M_{c−1} whose rate is closest to
+//     the new rate (ModelLibrary.Nearest),
+//  2. fits a *residual* Gaussian process M'_c on the few real samples
+//     available at the new rate, targeting s_t − μ_{c−1}(k_t),
+//  3. estimates the score of any untried configuration as
+//     μ_c(x) = μ_{c−1}(x) + μ'_c(x), saving the cost of actually running
+//     the bootstrap set, and
+//  4. switches back to plain Bayesian optimization once at least N_num
+//     real samples exist at the new rate.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"autrascale/internal/gp"
+)
+
+// Predictor is the subset of a fitted model the residual learner needs.
+type Predictor interface {
+	// PredictMean returns the posterior mean at x.
+	PredictMean(x []float64) float64
+}
+
+// Sample is one (configuration, score) pair at the new rate.
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// ResidualModel combines a previous-rate model with a GP fitted on the
+// residuals of new-rate samples.
+type ResidualModel struct {
+	prev     Predictor
+	residual *gp.Regressor
+}
+
+// FitResidual trains the residual GP M'_c of Algorithm 2 (lines 2–5):
+// targets are s_t − μ_{c−1}(k_t) for each real sample at the new rate.
+func FitResidual(prev Predictor, samples []Sample) (*ResidualModel, error) {
+	if prev == nil {
+		return nil, errors.New("transfer: nil previous model")
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("transfer: need at least one sample at the new rate")
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if len(s.X) == 0 {
+			return nil, fmt.Errorf("transfer: sample %d has empty input", i)
+		}
+		xs[i] = append([]float64(nil), s.X...)
+		ys[i] = s.Y - prev.PredictMean(s.X)
+	}
+	res, err := gp.FitAuto(xs, ys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		return nil, fmt.Errorf("transfer: residual fit: %w", err)
+	}
+	return &ResidualModel{prev: prev, residual: res}, nil
+}
+
+// PredictMean returns μ_c(x) = μ_{c−1}(x) + μ'_c(x) (Algorithm 2,
+// lines 9–11).
+func (m *ResidualModel) PredictMean(x []float64) float64 {
+	return m.prev.PredictMean(x) + m.residual.PredictMean(x)
+}
+
+// Entry is a stored benefit model bound to an input data rate.
+type Entry struct {
+	RateRPS float64
+	Model   Predictor
+}
+
+// ModelLibrary is the Plan stage's model store (§IV): benefit models keyed
+// by the input data rate they were trained at.
+type ModelLibrary struct {
+	entries []Entry
+}
+
+// NewModelLibrary returns an empty library.
+func NewModelLibrary() *ModelLibrary { return &ModelLibrary{} }
+
+// Put stores (or replaces) the model for a rate.
+func (l *ModelLibrary) Put(rateRPS float64, model Predictor) error {
+	if rateRPS <= 0 {
+		return errors.New("transfer: rate must be > 0")
+	}
+	if model == nil {
+		return errors.New("transfer: nil model")
+	}
+	for i := range l.entries {
+		if l.entries[i].RateRPS == rateRPS {
+			l.entries[i].Model = model
+			return nil
+		}
+	}
+	l.entries = append(l.entries, Entry{RateRPS: rateRPS, Model: model})
+	sort.Slice(l.entries, func(i, j int) bool { return l.entries[i].RateRPS < l.entries[j].RateRPS })
+	return nil
+}
+
+// Len returns the number of stored models.
+func (l *ModelLibrary) Len() int { return len(l.entries) }
+
+// Get returns the model trained exactly at rateRPS.
+func (l *ModelLibrary) Get(rateRPS float64) (Predictor, bool) {
+	for _, e := range l.entries {
+		if e.RateRPS == rateRPS {
+			return e.Model, true
+		}
+	}
+	return nil, false
+}
+
+// Nearest returns the stored model whose rate is closest to rateRPS
+// (Algorithm 2's M_{c−1}); ok is false when the library is empty.
+func (l *ModelLibrary) Nearest(rateRPS float64) (Entry, bool) {
+	if len(l.entries) == 0 {
+		return Entry{}, false
+	}
+	best := l.entries[0]
+	bestDist := abs(best.RateRPS - rateRPS)
+	for _, e := range l.entries[1:] {
+		if d := abs(e.RateRPS - rateRPS); d < bestDist {
+			best, bestDist = e, d
+		}
+	}
+	return best, true
+}
+
+// Rates lists the stored rates in ascending order.
+func (l *ModelLibrary) Rates() []float64 {
+	out := make([]float64, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.RateRPS
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,191 @@
+package transfer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autrascale/internal/gp"
+	"autrascale/internal/stat"
+)
+
+// fnPredictor adapts a plain function to the Predictor interface.
+type fnPredictor func(x []float64) float64
+
+func (f fnPredictor) PredictMean(x []float64) float64 { return f(x) }
+
+func TestFitResidualValidation(t *testing.T) {
+	if _, err := FitResidual(nil, []Sample{{X: []float64{1}, Y: 1}}); err == nil {
+		t.Fatal("nil prev should error")
+	}
+	prev := fnPredictor(func(x []float64) float64 { return 0 })
+	if _, err := FitResidual(prev, nil); err == nil {
+		t.Fatal("no samples should error")
+	}
+	if _, err := FitResidual(prev, []Sample{{X: nil, Y: 1}}); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+// The key transfer property: when the new-rate function is the old one
+// plus a smooth shift, a few samples suffice to predict it well —
+// much better than either the old model alone or a from-scratch GP on the
+// same few samples.
+func TestResidualTransferBeatsScratch(t *testing.T) {
+	oldF := func(x []float64) float64 { return math.Sin(x[0]) }
+	newF := func(x []float64) float64 { return math.Sin(x[0]) - 0.4 + 0.05*x[0] }
+
+	// Previous-rate model: a GP trained densely on oldF.
+	var oxs [][]float64
+	var oys []float64
+	for x := 0.0; x <= 6; x += 0.25 {
+		oxs = append(oxs, []float64{x})
+		oys = append(oys, oldF([]float64{x}))
+	}
+	prev, err := gp.FitAuto(oxs, oys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only 4 real samples at the new rate.
+	sparse := []Sample{}
+	for _, x := range []float64{0.5, 2, 3.5, 5} {
+		sparse = append(sparse, Sample{X: []float64{x}, Y: newF([]float64{x})})
+	}
+	rm, err := FitResidual(prev, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// From-scratch GP on the same sparse data, for comparison.
+	sxs := make([][]float64, len(sparse))
+	sys := make([]float64, len(sparse))
+	for i, s := range sparse {
+		sxs[i] = s.X
+		sys[i] = s.Y
+	}
+	scratch, err := gp.FitAuto(sxs, sys, gp.FitOptions{Family: gp.FamilyMatern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var errTransfer, errScratch, errOld float64
+	n := 0
+	for x := 0.25; x <= 5.75; x += 0.25 {
+		xt := []float64{x}
+		want := newF(xt)
+		errTransfer += math.Abs(rm.PredictMean(xt) - want)
+		errScratch += math.Abs(scratch.PredictMean(xt) - want)
+		errOld += math.Abs(prev.PredictMean(xt) - want)
+		n++
+	}
+	errTransfer /= float64(n)
+	errScratch /= float64(n)
+	errOld /= float64(n)
+	if errTransfer > 0.1 {
+		t.Fatalf("transfer error = %v, want < 0.1", errTransfer)
+	}
+	if errTransfer >= errScratch {
+		t.Fatalf("transfer (%v) should beat scratch (%v) on sparse data", errTransfer, errScratch)
+	}
+	if errTransfer >= errOld {
+		t.Fatalf("transfer (%v) should beat the stale model (%v)", errTransfer, errOld)
+	}
+}
+
+func TestResidualExactOnTrainingPoints(t *testing.T) {
+	prev := fnPredictor(func(x []float64) float64 { return 2 * x[0] })
+	samples := []Sample{
+		{X: []float64{1}, Y: 3}, {X: []float64{2}, Y: 5}, {X: []float64{3}, Y: 6.5},
+	}
+	rm, err := FitResidual(prev, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if got := rm.PredictMean(s.X); math.Abs(got-s.Y) > 0.05 {
+			t.Fatalf("PredictMean(%v) = %v, want %v", s.X, got, s.Y)
+		}
+	}
+}
+
+func TestModelLibrary(t *testing.T) {
+	l := NewModelLibrary()
+	if _, ok := l.Nearest(100); ok {
+		t.Fatal("empty library should return ok=false")
+	}
+	if err := l.Put(0, fnPredictor(nil)); err == nil {
+		t.Fatal("rate 0 should error")
+	}
+	if err := l.Put(100, nil); err == nil {
+		t.Fatal("nil model should error")
+	}
+	m20 := fnPredictor(func(x []float64) float64 { return 20 })
+	m80 := fnPredictor(func(x []float64) float64 { return 80 })
+	if err := l.Put(20e3, m20); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put(80e3, m80); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	e, ok := l.Nearest(30e3)
+	if !ok || e.RateRPS != 20e3 {
+		t.Fatalf("Nearest(30k) = %v", e.RateRPS)
+	}
+	e, _ = l.Nearest(75e3)
+	if e.RateRPS != 80e3 {
+		t.Fatalf("Nearest(75k) = %v", e.RateRPS)
+	}
+	if _, ok := l.Get(20e3); !ok {
+		t.Fatal("Get exact rate failed")
+	}
+	if _, ok := l.Get(30e3); ok {
+		t.Fatal("Get missing rate should be false")
+	}
+	rates := l.Rates()
+	if len(rates) != 2 || rates[0] != 20e3 || rates[1] != 80e3 {
+		t.Fatalf("Rates = %v", rates)
+	}
+	// Replacement keeps a single entry.
+	if err := l.Put(20e3, m80); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("replace changed Len to %d", l.Len())
+	}
+	got, _ := l.Get(20e3)
+	if got.PredictMean(nil) != 80 {
+		t.Fatal("Put did not replace the model")
+	}
+}
+
+// Property: nearest always returns the entry minimizing |rate − query|.
+func TestNearestProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stat.NewRNG(seed)
+		l := NewModelLibrary()
+		n := 1 + r.Intn(10)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 1 + r.Float64()*1e5
+			_ = l.Put(rates[i], fnPredictor(func(x []float64) float64 { return 0 }))
+		}
+		q := r.Float64() * 1.2e5
+		e, ok := l.Nearest(q)
+		if !ok {
+			return false
+		}
+		for _, rt := range rates {
+			if math.Abs(rt-q) < math.Abs(e.RateRPS-q)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package workloads defines the four benchmark jobs of the paper's
+// evaluation (§V-A) with performance profiles calibrated so the headline
+// operating points land near the paper's:
+//
+//   - WordCount: linear 4-operator DAG (Source, FlatMap, Count, Sink);
+//     throughput-optimal parallelism ≈ (3, 4, 12, 10) at 350k records/s.
+//   - WordCountCaseStudy: the §II motivation variant whose uniform-
+//     parallelism sweep reproduces Fig. 1 and Fig. 2.
+//   - Yahoo Streaming Benchmark: 5-operator DAG whose final operator is
+//     capped by Redis read/write throughput — total rate stuck near 34k
+//     records/s no matter the parallelism (Fig. 5b).
+//   - Nexmark Query5 (sliding window) and Query11 (session window):
+//     window-heavy 3-operator DAGs, optimal ≈ (1, 18, 2) at 30k and
+//     (1, 11, 2) at 100k respectively.
+//
+// Each Spec carries the job's default input rate and QoS targets from
+// §V, and NewEngine assembles a ready-to-run simulator on the paper's
+// 3×20-core testbed.
+package workloads
+
+import (
+	"fmt"
+
+	"autrascale/internal/cluster"
+	"autrascale/internal/dataflow"
+	"autrascale/internal/flink"
+	"autrascale/internal/kafka"
+	"autrascale/internal/metrics"
+)
+
+// Spec describes a benchmark workload.
+type Spec struct {
+	Name string
+	// BuildGraph returns a fresh job graph (graphs hold mutable
+	// validation state, so each engine gets its own).
+	BuildGraph func() *dataflow.Graph
+	// DefaultRateRPS is the input rate used in §V-B (throughput
+	// optimization).
+	DefaultRateRPS float64
+	// TargetLatencyMS is the latency requirement used in §V-C/D.
+	TargetLatencyMS float64
+	// Partitions is the Kafka partition count.
+	Partitions int
+}
+
+// mustGraph panics on a build error; workload graphs are static.
+func mustGraph(name string, ops []dataflow.Operator, edges [][2]string) *dataflow.Graph {
+	g := dataflow.NewGraph(name)
+	for _, op := range ops {
+		if err := g.AddOperator(op); err != nil {
+			panic(fmt.Sprintf("workloads: %s: %v", name, err))
+		}
+	}
+	for _, e := range edges {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			panic(fmt.Sprintf("workloads: %s: %v", name, err))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("workloads: %s: %v", name, err))
+	}
+	return g
+}
+
+// WordCount is the evaluation-section WordCount job (§V-B/C): target
+// throughput 350k records/s, target latency 180 ms.
+func WordCount() Spec {
+	build := func() *dataflow.Graph {
+		return mustGraph("wordcount", []dataflow.Operator{
+			{Name: "Source", Kind: dataflow.KindSource, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 130e3, SyncCost: 0.02, FixedLatencyMS: 8,
+				QueueScaleMS: 1.5, MaxCongestion: 12, StateCostMS: 10, CommCostPerParallelism: 0.3,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+			{Name: "FlatMap", Kind: dataflow.KindTransform, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 100e3, SyncCost: 0.03, FixedLatencyMS: 12,
+				QueueScaleMS: 2, MaxCongestion: 12, StateCostMS: 20, CommCostPerParallelism: 0.4,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+			{Name: "Count", Kind: dataflow.KindWindow, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 33e3, SyncCost: 0.01, FixedLatencyMS: 25,
+				QueueScaleMS: 3, MaxCongestion: 12, StateCostMS: 120, CommCostPerParallelism: 0.8,
+				CPUPerInstance: 1, MemPerInstanceMB: 2048,
+			}},
+			{Name: "Sink", Kind: dataflow.KindSink, Selectivity: 0, Profile: dataflow.Profile{
+				BaseRatePerInstance: 42e3, SyncCost: 0.015, FixedLatencyMS: 10,
+				QueueScaleMS: 2, MaxCongestion: 12, StateCostMS: 40, CommCostPerParallelism: 0.5,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+		}, [][2]string{{"Source", "FlatMap"}, {"FlatMap", "Count"}, {"Count", "Sink"}})
+	}
+	return Spec{Name: "wordcount", BuildGraph: build,
+		DefaultRateRPS: 350e3, TargetLatencyMS: 180, Partitions: 16}
+}
+
+// WordCountCaseStudy is the §II motivation configuration: a balanced
+// pipeline whose uniform-parallelism sweep shows the non-linear
+// throughput curve of Fig. 2(a) (≈150k/250k/275k/... at k = 1, 2, 3 with
+// a 300k input) and the U-shaped latency of Fig. 2(b).
+func WordCountCaseStudy() Spec {
+	// The bottleneck operator: USL σ=0.1, κ=0.06 gives total rates
+	// 150k, 246k, 288k, 297k, 288k, 273k for k = 1..6.
+	bottleneck := dataflow.Profile{
+		BaseRatePerInstance: 150e3, SyncCost: 0.1, CrossCost: 0.06,
+		FixedLatencyMS: 15, QueueScaleMS: 0.15, StateCostMS: 160,
+		CommCostPerParallelism: 12, CPUPerInstance: 1, MemPerInstanceMB: 2048,
+	}
+	fast := dataflow.Profile{
+		BaseRatePerInstance: 400e3, SyncCost: 0.02, FixedLatencyMS: 8,
+		QueueScaleMS: 0.1, StateCostMS: 20, CommCostPerParallelism: 1,
+		CPUPerInstance: 1, MemPerInstanceMB: 1024,
+	}
+	build := func() *dataflow.Graph {
+		return mustGraph("wordcount-case", []dataflow.Operator{
+			{Name: "Source", Kind: dataflow.KindSource, Selectivity: 1, Profile: fast},
+			{Name: "FlatMap", Kind: dataflow.KindTransform, Selectivity: 1, Profile: fast},
+			{Name: "Count", Kind: dataflow.KindWindow, Selectivity: 1, Profile: bottleneck},
+			{Name: "Sink", Kind: dataflow.KindSink, Selectivity: 0, Profile: fast},
+		}, [][2]string{{"Source", "FlatMap"}, {"FlatMap", "Count"}, {"Count", "Sink"}})
+	}
+	return Spec{Name: "wordcount-case", BuildGraph: build,
+		DefaultRateRPS: 300e3, TargetLatencyMS: 180, Partitions: 16}
+}
+
+// Yahoo is the extended Yahoo Streaming Benchmark (§V-A, Fig. 4): an ad
+// analytics pipeline whose join/sink stage reads and writes Redis. The
+// Redis substitute is an ExternalCapRPS of 34k records/s on the windowed
+// sink — the reason its throughput cannot reach the 60k input rate and
+// DS2-style iteration never converges (Fig. 5b).
+func Yahoo() Spec {
+	build := func() *dataflow.Graph {
+		return mustGraph("yahoo", []dataflow.Operator{
+			{Name: "Source", Kind: dataflow.KindSource, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 16e3, SyncCost: 0.01, FixedLatencyMS: 10,
+				QueueScaleMS: 2, StateCostMS: 20, CommCostPerParallelism: 0.4,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+			{Name: "Deserialize", Kind: dataflow.KindTransform, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 35e3, SyncCost: 0.02, FixedLatencyMS: 12,
+				QueueScaleMS: 2, StateCostMS: 15, CommCostPerParallelism: 0.4,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+			{Name: "Filter", Kind: dataflow.KindTransform, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 80e3, SyncCost: 0.02, FixedLatencyMS: 8,
+				QueueScaleMS: 1, StateCostMS: 10, CommCostPerParallelism: 0.3,
+				CPUPerInstance: 1, MemPerInstanceMB: 512,
+			}},
+			{Name: "Projection", Kind: dataflow.KindTransform, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 90e3, SyncCost: 0.02, FixedLatencyMS: 8,
+				QueueScaleMS: 1, StateCostMS: 10, CommCostPerParallelism: 0.3,
+				CPUPerInstance: 1, MemPerInstanceMB: 512,
+			}},
+			{Name: "JoinSink", Kind: dataflow.KindSink, Selectivity: 0, Profile: dataflow.Profile{
+				BaseRatePerInstance: 1.8e3, SyncCost: 0.005, FixedLatencyMS: 35,
+				QueueScaleMS: 4, StateCostMS: 200, CommCostPerParallelism: 0.8,
+				ExternalCapRPS: 34e3, CPUPerInstance: 1, MemPerInstanceMB: 2048,
+			}},
+		}, [][2]string{
+			{"Source", "Deserialize"}, {"Deserialize", "Filter"},
+			{"Filter", "Projection"}, {"Projection", "JoinSink"},
+		})
+	}
+	return Spec{Name: "yahoo", BuildGraph: build,
+		DefaultRateRPS: 60e3, TargetLatencyMS: 300, Partitions: 8}
+}
+
+// NexmarkQ5 is Nexmark Query 5 (hot items, sliding window), evaluated at
+// 30k records/s with a 500 ms latency target; the transfer-learning
+// experiment trains its base model at 20k records/s (§V-D).
+func NexmarkQ5() Spec {
+	build := func() *dataflow.Graph {
+		return mustGraph("nexmark-q5", []dataflow.Operator{
+			{Name: "Source", Kind: dataflow.KindSource, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 60e3, SyncCost: 0.01, FixedLatencyMS: 10,
+				QueueScaleMS: 2, StateCostMS: 15, CommCostPerParallelism: 0.5,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+			{Name: "SlidingWindow", Kind: dataflow.KindWindow, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 1.75e3, SyncCost: 0.004, FixedLatencyMS: 60,
+				QueueScaleMS: 14, StateCostMS: 900, CommCostPerParallelism: 2.5,
+				CPUPerInstance: 1, MemPerInstanceMB: 3072,
+			}},
+			{Name: "Sink", Kind: dataflow.KindSink, Selectivity: 0, Profile: dataflow.Profile{
+				BaseRatePerInstance: 25e3, SyncCost: 0.02, FixedLatencyMS: 10,
+				QueueScaleMS: 2, StateCostMS: 30, CommCostPerParallelism: 0.5,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+		}, [][2]string{{"Source", "SlidingWindow"}, {"SlidingWindow", "Sink"}})
+	}
+	return Spec{Name: "nexmark-q5", BuildGraph: build,
+		DefaultRateRPS: 30e3, TargetLatencyMS: 500, Partitions: 8}
+}
+
+// NexmarkQ11 is Nexmark Query 11 (user sessions, session window),
+// evaluated at 100k records/s with a 150 ms latency target; the transfer
+// experiment trains at 80k records/s.
+func NexmarkQ11() Spec {
+	build := func() *dataflow.Graph {
+		return mustGraph("nexmark-q11", []dataflow.Operator{
+			{Name: "Source", Kind: dataflow.KindSource, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 150e3, SyncCost: 0.01, FixedLatencyMS: 8,
+				QueueScaleMS: 1.5, StateCostMS: 10, CommCostPerParallelism: 0.4,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+			{Name: "SessionWindow", Kind: dataflow.KindWindow, Selectivity: 1, Profile: dataflow.Profile{
+				BaseRatePerInstance: 9.5e3, SyncCost: 0.008, FixedLatencyMS: 30,
+				QueueScaleMS: 3, StateCostMS: 300, CommCostPerParallelism: 1.5,
+				CPUPerInstance: 1, MemPerInstanceMB: 2048,
+			}},
+			{Name: "Sink", Kind: dataflow.KindSink, Selectivity: 0, Profile: dataflow.Profile{
+				BaseRatePerInstance: 80e3, SyncCost: 0.02, FixedLatencyMS: 8,
+				QueueScaleMS: 1.5, StateCostMS: 20, CommCostPerParallelism: 0.4,
+				CPUPerInstance: 1, MemPerInstanceMB: 1024,
+			}},
+		}, [][2]string{{"Source", "SessionWindow"}, {"SessionWindow", "Sink"}})
+	}
+	return Spec{Name: "nexmark-q11", BuildGraph: build,
+		DefaultRateRPS: 100e3, TargetLatencyMS: 150, Partitions: 8}
+}
+
+// All returns every evaluation workload (excluding the case-study
+// variant).
+func All() []Spec {
+	return []Spec{WordCount(), Yahoo(), NexmarkQ5(), NexmarkQ11()}
+}
+
+// EngineOptions customizes NewEngine.
+type EngineOptions struct {
+	// Schedule overrides the constant DefaultRateRPS producer.
+	Schedule kafka.RateSchedule
+	// InitialParallelism defaults to all-1 (the paper's §V-B starting
+	// point).
+	InitialParallelism dataflow.ParallelismVector
+	// Store receives metrics (optional).
+	Store *metrics.Store
+	// Seed for reproducibility.
+	Seed uint64
+	// NoNoise disables stochastic jitter (used by calibration tests).
+	NoNoise bool
+	// Cluster overrides the paper testbed.
+	Cluster *cluster.Cluster
+}
+
+// NewEngine assembles a simulator for the workload on the paper's
+// testbed (3 machines × 20 cores).
+func NewEngine(spec Spec, opts EngineOptions) (*flink.Engine, error) {
+	sched := opts.Schedule
+	if sched == nil {
+		sched = kafka.ConstantRate(spec.DefaultRateRPS)
+	}
+	topic, err := kafka.NewTopic(spec.Name+"-events", spec.Partitions, sched)
+	if err != nil {
+		return nil, err
+	}
+	cl := opts.Cluster
+	if cl == nil {
+		cl = cluster.PaperTestbed()
+	}
+	return flink.New(flink.Config{
+		Graph:              spec.BuildGraph(),
+		Cluster:            cl,
+		Topic:              topic,
+		Store:              opts.Store,
+		Seed:               opts.Seed,
+		NoNoise:            opts.NoNoise,
+		InitialParallelism: opts.InitialParallelism,
+	})
+}
