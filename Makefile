@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp experiments summary fmt vet clean
 
 all: build test
 
@@ -13,13 +13,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/
 
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Micro-benchmarks the numerical core must not regress on. Each benchmark
+# runs 3 times and the per-benchmark minimum is compared against
+# BENCH_BASELINE.json; >20% slower fails. Refresh the baseline after a
+# deliberate change with:
+#   make benchcmp BENCHCMP_FLAGS=-update
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$
+benchcmp:
+	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
+		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

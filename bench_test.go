@@ -222,9 +222,94 @@ func BenchmarkSimulatorTick(b *testing.B) {
 	}
 }
 
+// BenchmarkGPAppend measures folding one observation into a fitted
+// surrogate via the incremental Cholesky extension (O(n²) per point vs a
+// full refactorization). The model is reset once it doubles so the
+// reported cost stays at realistic sample counts.
+func BenchmarkGPAppend(b *testing.B) {
+	rng := stat.NewRNG(5)
+	const base = 32
+	point := func() []float64 {
+		return []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	xs := make([][]float64, base)
+	ys := make([]float64, base)
+	for i := range xs {
+		xs[i], ys[i] = point(), rng.Float64()
+	}
+	extra := make([][]float64, base)
+	for i := range extra {
+		extra[i] = point()
+	}
+	fit := func() *gp.Regressor {
+		r := gp.New(gp.Matern52{Variance: 1, LengthScale: 3}, 1e-4)
+		if err := r.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	r := fit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.NumData() >= 2*base {
+			b.StopTimer()
+			r = fit()
+			b.StartTimer()
+		}
+		if err := r.Append(extra[r.NumData()-base], rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures a batched posterior sweep with reused
+// workspace buffers; the steady state must run at 0 allocs/op.
+func BenchmarkPredictBatch(b *testing.B) {
+	rng := stat.NewRNG(6)
+	const n, batch = 30, 64
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		ys[i] = rng.Float64()
+	}
+	r := gp.New(gp.Matern52{Variance: 1, LengthScale: 3}, 1e-4)
+	if err := r.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	cands := make([][]float64, batch)
+	for i := range cands {
+		cands[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+	}
+	means := make([]float64, batch)
+	variances := make([]float64, batch)
+	var ws gp.Workspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.PredictBatch(&ws, cands, means, variances); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBOSuggest measures one full suggestion (refit + candidate pool
-// + EI maximization) at realistic observation counts.
-func BenchmarkBOSuggest(b *testing.B) {
+// + EI maximization) at realistic observation counts, with the default
+// (GOMAXPROCS-wide) acquisition sweep.
+func BenchmarkBOSuggest(b *testing.B) { benchBOSuggest(b, 0) }
+
+// BenchmarkBOSuggestSerial pins the sweep to one worker; comparing it
+// against BenchmarkBOSuggestParallel isolates the parallel speedup. The
+// two must also produce identical suggestions (see
+// TestSuggestSerialParallelIdentical).
+func BenchmarkBOSuggestSerial(b *testing.B) { benchBOSuggest(b, 1) }
+
+// BenchmarkBOSuggestParallel is the GOMAXPROCS-wide sweep, named
+// explicitly for side-by-side comparison with the serial variant.
+func BenchmarkBOSuggestParallel(b *testing.B) { benchBOSuggest(b, 0) }
+
+func benchBOSuggest(b *testing.B, workers int) {
+	b.Helper()
 	space, err := bo.NewSpace(dataflow.ParallelismVector{3, 4, 12, 10}, 60)
 	if err != nil {
 		b.Fatal(err)
@@ -233,7 +318,7 @@ func BenchmarkBOSuggest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Seed: uint64(i)})
+		opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Seed: uint64(i), SweepWorkers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,122 @@
+// Command benchcmp guards the numerical core against performance
+// regressions. It parses `go test -bench` output on stdin, takes the
+// minimum ns/op per benchmark across repeated runs (the most
+// noise-robust point estimate on a shared machine), and compares each
+// against the recorded baseline:
+//
+//	go test -run '^$' -bench 'BOSuggest$|GPFitPredict$' -count 3 . |
+//	    benchcmp -baseline BENCH_BASELINE.json
+//
+// The exit status is non-zero when any baselined benchmark regressed by
+// more than -threshold (default 20%), or is missing from the input (a
+// rename or deletion must update the baseline deliberately). Benchmarks
+// in the input but not the baseline are reported informationally.
+// -update rewrites the baseline file from the measured values instead
+// of comparing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkBOSuggest-8    4618    242443 ns/op    75697 B/op    431 allocs/op
+//
+// (the -N GOMAXPROCS suffix is absent on single-proc runs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file (benchmark name → ns/op)")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional regression")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured values")
+	flag.Parse()
+
+	measured := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, ok := measured[m[1]]; !ok || ns < old {
+			measured[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("no benchmark results on stdin (pipe `go test -bench` output)")
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			fatalf("encoding baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", *baselinePath, err)
+		}
+		fmt.Printf("wrote %d baselines to %s\n", len(measured), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("reading %s: %v (run with -update to create it)", *baselinePath, err)
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fatalf("parsing %s: %v", *baselinePath, err)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Printf("FAIL %-28s missing from input (baseline %.0f ns/op)\n", name, base)
+			failed = true
+			continue
+		}
+		delta := got/base - 1
+		status := "ok  "
+		if delta > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n", status, name, got, base, 100*delta)
+	}
+	for name, got := range measured {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("info %-28s %12.0f ns/op  (not in baseline)\n", name, got)
+		}
+	}
+	if failed {
+		fmt.Printf("benchcmp: regression beyond %.0f%% of baseline\n", 100**threshold)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcmp: "+format+"\n", args...)
+	os.Exit(1)
+}

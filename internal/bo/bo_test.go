@@ -400,3 +400,119 @@ func TestSuggestAcqModes(t *testing.T) {
 		t.Fatalf("UCB loop best = %v (%v), want near (3,7)", best.Score, best.Par)
 	}
 }
+
+func TestPickNearTie(t *testing.T) {
+	// Candidate 1 leads, candidate 2 is within the 10% tie band but
+	// cheaper (larger resource term): the cheaper one must win.
+	acq := []float64{0.50, 1.00, 0.95, 0.20}
+	res := []float64{9.0, 0.3, 0.8, 9.9}
+	all := []bool{true, true, true, true}
+	if got := pickNearTie(acq, res, all); got != 2 {
+		t.Fatalf("pickNearTie = %d, want cheaper near-tie 2", got)
+	}
+	// Outside the band the plain argmax wins regardless of cost.
+	acq2 := []float64{0.50, 1.00, 0.80, 0.20}
+	if got := pickNearTie(acq2, res, all); got != 1 {
+		t.Fatalf("pickNearTie = %d, want argmax 1", got)
+	}
+	// Equal resources break toward the higher acquisition value.
+	if got := pickNearTie([]float64{0.99, 1.00}, []float64{1, 1}, []bool{true, true}); got != 1 {
+		t.Fatalf("equal-cost tie = %d, want higher acq 1", got)
+	}
+	// Ineligible entries never win, even as the global max; with none
+	// eligible the explicit no-candidate state is -1, not index 0.
+	if got := pickNearTie(acq, res, []bool{false, false, true, false}); got != 2 {
+		t.Fatalf("ineligible max leaked: got %d", got)
+	}
+	if got := pickNearTie(acq, res, []bool{false, false, false, false}); got != -1 {
+		t.Fatalf("no eligible candidates = %d, want -1", got)
+	}
+	// All-zero acquisition values (EI collapsed everywhere) are a full
+	// tie: the cheapest eligible candidate is still preferred.
+	if got := pickNearTie([]float64{0, 0, 0}, []float64{1, 5, 3}, []bool{true, true, true}); got != 1 {
+		t.Fatalf("zero-EI tie = %d, want cheapest 1", got)
+	}
+	// Negative values (UCB with negative means) keep a sane band below
+	// the maximum rather than selecting everything.
+	if got := pickNearTie([]float64{-1.0, -0.5, -3.0}, []float64{9, 1, 9}, []bool{true, true, true}); got != 1 {
+		t.Fatalf("negative-value band = %d, want 1", got)
+	}
+}
+
+func TestSuggestSerialParallelIdentical(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{2, 1, 3}, 40)
+	score := func(p dataflow.ParallelismVector) float64 {
+		v := 0.0
+		for i, k := range p {
+			d := float64(k - 3*(i+2))
+			v -= 0.01 * d * d
+		}
+		return 1 + v
+	}
+	for _, seed := range []uint64{1, 42, 999} {
+		serial, err := NewOptimizer(OptimizerConfig{Space: s, Seed: seed, SweepWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewOptimizer(OptimizerConfig{Space: s, Seed: seed, SweepWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stat.NewRNG(seed)
+		// Below and above the trust-region threshold, and across all
+		// acquisition modes, the suggestion must be bit-identical for any
+		// worker count: candidates are scored independently and reduced in
+		// index order.
+		for i := 0; i < 16; i++ {
+			p := s.RandomPoint(rng)
+			ob := Observation{Par: p, Score: score(p)}
+			if err := serial.Add(ob); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Add(ob); err != nil {
+				t.Fatal(err)
+			}
+			if i < 4 {
+				continue // too few points to be interesting
+			}
+			for _, acq := range []Acquisition{AcqEI, AcqUCB, AcqMean} {
+				ps, err1 := serial.SuggestAcq(acq)
+				pp, err2 := par.SuggestAcq(acq)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("seed %d obs %d acq %d: serial err %v, parallel err %v", seed, i, acq, err1, err2)
+				}
+				if err1 == nil && !ps.Equal(pp) {
+					t.Fatalf("seed %d obs %d acq %d: serial %v != parallel %v", seed, i, acq, ps, pp)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizerAddReplaceByIndex(t *testing.T) {
+	s := mustSpace(t, dataflow.ParallelismVector{1, 1}, 30)
+	o, _ := NewOptimizer(OptimizerConfig{Space: s})
+	for k := 1; k <= 20; k++ {
+		if err := o.Add(Observation{Par: dataflow.ParallelismVector{k, k}, Score: float64(k) / 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-observing an existing configuration must replace it in place —
+	// no duplicate entry, newest score kept — regardless of where it sits.
+	for _, k := range []int{1, 7, 20} {
+		if err := o.Add(Observation{Par: dataflow.ParallelismVector{k, k}, Score: 5 + float64(k)}); err != nil {
+			t.Fatal(err)
+		}
+		obs := o.Observations()
+		if len(obs) != 20 {
+			t.Fatalf("replace grew the set to %d entries", len(obs))
+		}
+		if got := obs[k-1].Score; got != 5+float64(k) {
+			t.Fatalf("obs[%d].Score = %v, want %v", k-1, got, 5+float64(k))
+		}
+	}
+	best, _ := o.Best()
+	if !best.Par.Equal(dataflow.ParallelismVector{20, 20}) {
+		t.Fatalf("best after replacements = %v", best)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"strconv"
+	"sync"
 
 	"autrascale/internal/dataflow"
 	"autrascale/internal/gp"
@@ -54,6 +57,9 @@ const (
 	AcqMean
 )
 
+// ucbBeta is the exploration weight SuggestAcq uses for AcqUCB.
+const ucbBeta = 2.0
+
 // Observation is one evaluated configuration.
 type Observation struct {
 	Par   dataflow.ParallelismVector
@@ -67,14 +73,21 @@ type Observation struct {
 // score) pairs and proposes the next configuration by maximizing EI over
 // the lattice.
 type Optimizer struct {
-	space   Space
-	xi      float64
-	exploit bool
-	rng     *stat.RNG
+	space      Space
+	xi         float64
+	exploit    bool
+	rng        *stat.RNG
+	workers    int
+	refitEvery int
 
 	obs   []Observation
+	index map[string]int // Par.Key() → position in obs
 	model *gp.Regressor
 	dirty bool
+	// appendsSinceFit counts observations folded into the surrogate by
+	// incremental Cholesky extension since the last full hyperparameter
+	// search; at refitEvery the next refit redoes the full FitAuto.
+	appendsSinceFit int
 }
 
 // OptimizerConfig configures NewOptimizer.
@@ -90,7 +103,23 @@ type OptimizerConfig struct {
 	// the posterior variance that EI feeds on is not meaningful — the
 	// transferred mean surface is the signal to follow.
 	Exploit bool
+	// SweepWorkers caps the goroutines scoring acquisition candidates
+	// (0 = GOMAXPROCS, 1 = fully serial). The suggestion is bit-identical
+	// for any worker count: candidates are scored independently and
+	// reduced in index order.
+	SweepWorkers int
+	// HyperRefitEvery is the number of observations the optimizer folds
+	// into the surrogate by incremental Cholesky extension before the
+	// next refit redoes the full hyperparameter search (default 5;
+	// negative disables incremental updates entirely).
+	HyperRefitEvery int
 }
+
+// defaultHyperRefitEvery balances hyperparameter freshness against refit
+// cost: stale length scales for a handful of points barely move the
+// acquisition argmax, while a full grid search per observation is the
+// dominant cost of Algorithm 1 (Table IV).
+const defaultHyperRefitEvery = 5
 
 // NewOptimizer builds an Optimizer.
 func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
@@ -104,11 +133,18 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 	if xi < 0 {
 		return nil, errors.New("bo: negative xi")
 	}
+	refitEvery := cfg.HyperRefitEvery
+	if refitEvery == 0 {
+		refitEvery = defaultHyperRefitEvery
+	}
 	return &Optimizer{
-		space:   cfg.Space,
-		xi:      xi,
-		exploit: cfg.Exploit,
-		rng:     stat.NewRNG(cfg.Seed ^ 0x51ab_c0ff_ee12_3457),
+		space:      cfg.Space,
+		xi:         xi,
+		exploit:    cfg.Exploit,
+		rng:        stat.NewRNG(cfg.Seed ^ 0x51ab_c0ff_ee12_3457),
+		workers:    cfg.SweepWorkers,
+		refitEvery: refitEvery,
+		index:      map[string]int{},
 	}, nil
 }
 
@@ -134,6 +170,12 @@ func (o *Optimizer) NumReal() int {
 // Add records an observation. A configuration observed twice keeps the
 // newest real value (real samples replace estimated ones for the same
 // point; an estimated sample never replaces a real one).
+//
+// When the surrogate is already fitted, a new point is folded into it by
+// extending the Cholesky factor in O(n²) (gp.Regressor.Append) instead of
+// flagging a full O(n³)-per-grid-candidate refit; the full hyperparameter
+// search reruns every HyperRefitEvery appended points, or whenever an
+// existing observation's score is replaced.
 func (o *Optimizer) Add(ob Observation) error {
 	if len(ob.Par) != o.space.Dim() {
 		return fmt.Errorf("bo: observation dim %d, want %d", len(ob.Par), o.space.Dim())
@@ -142,16 +184,23 @@ func (o *Optimizer) Add(ob Observation) error {
 		return errors.New("bo: non-finite score")
 	}
 	ob.Par = ob.Par.Clone()
-	for i := range o.obs {
-		if o.obs[i].Par.Equal(ob.Par) {
-			if o.obs[i].Estimated || !ob.Estimated {
-				o.obs[i] = ob
-				o.dirty = true
-			}
+	key := ob.Par.Key()
+	if i, ok := o.index[key]; ok {
+		if o.obs[i].Estimated || !ob.Estimated {
+			o.obs[i] = ob
+			o.dirty = true
+		}
+		return nil
+	}
+	o.index[key] = len(o.obs)
+	o.obs = append(o.obs, ob)
+	if o.model != nil && !o.dirty && o.refitEvery > 0 && o.appendsSinceFit < o.refitEvery-1 {
+		if err := o.model.Append(ob.Par.Floats(), ob.Score); err == nil {
+			o.appendsSinceFit++
 			return nil
 		}
+		// Non-SPD extension at the current jitter: fall back to a refit.
 	}
-	o.obs = append(o.obs, ob)
 	o.dirty = true
 	return nil
 }
@@ -171,7 +220,8 @@ func (o *Optimizer) Best() (Observation, bool) {
 	return best, true
 }
 
-// refit rebuilds the GP surrogate when observations changed.
+// refit rebuilds the GP surrogate (full hyperparameter search) when the
+// incremental path could not keep it current.
 func (o *Optimizer) refit() error {
 	if !o.dirty && o.model != nil {
 		return nil
@@ -191,6 +241,7 @@ func (o *Optimizer) refit() error {
 	}
 	o.model = model
 	o.dirty = false
+	o.appendsSinceFit = 0
 	return nil
 }
 
@@ -222,9 +273,162 @@ func (o *Optimizer) SuggestWith(exploit bool) (dataflow.ParallelismVector, error
 	return o.SuggestAcq(AcqEI)
 }
 
+// resourceTerm is the analytic resource half of the scoring function
+// (Eq. 4): known without running, it breaks acquisition near-ties toward
+// smaller configurations.
+func (o *Optimizer) resourceTerm(p dataflow.ParallelismVector) float64 {
+	var s float64
+	for i, k := range p {
+		s += float64(o.space.Base[i]) / float64(k)
+	}
+	return s / float64(len(p))
+}
+
+// tieBand is the relative band below the acquisition maximum inside which
+// candidates count as near-ties and the cheaper configuration wins.
+const tieBand = 0.1
+
+// trustAfter is the number of real observations after which the candidate
+// pool contracts to a trust region around the incumbent and the base
+// corner (see candidatePool), and the incumbent-start hill climb is
+// dropped (the contracted pool already blankets that neighborhood).
+const trustAfter = 12
+
+// pickNearTie selects the suggestion among scored candidates: the argmax
+// of acqVals, except that every eligible candidate within tieBand of the
+// maximum is treated as tied and the tie breaks toward the cheaper
+// configuration (larger resource term), then the higher acquisition
+// value, then the lower index. Returns −1 when no candidate is eligible.
+//
+// Anchoring the band to the global maximum (two passes) rather than to a
+// running best avoids the degenerate streaming cases: there is an
+// explicit "no candidate yet" state, a zero maximum makes every zero-EI
+// candidate a tie (resolved by cost), and negative acquisition values
+// (UCB with negative means) keep a sane band below the max.
+func pickNearTie(acqVals, resources []float64, eligible []bool) int {
+	maxV := math.Inf(-1)
+	found := false
+	for i, v := range acqVals {
+		if !eligible[i] {
+			continue
+		}
+		found = true
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if !found {
+		return -1
+	}
+	threshold := maxV - tieBand*math.Abs(maxV)
+	best := -1
+	for i, v := range acqVals {
+		if !eligible[i] || v < threshold {
+			continue
+		}
+		switch {
+		case best < 0:
+			best = i
+		case resources[i] > resources[best]:
+			best = i
+		case resources[i] == resources[best] && v > acqVals[best]:
+			best = i
+		}
+	}
+	return best
+}
+
+// sweepWorkers resolves the worker count for candidate scoring.
+func (o *Optimizer) sweepWorkers() int {
+	if o.workers > 0 {
+		return o.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// posterior is a memoized GP prediction; std is NaN when only the mean
+// was computed.
+type posterior struct{ mean, std float64 }
+
+// appendKey appends p's canonical key (the ParallelismVector.Key format)
+// to b, enabling allocation-free probes of Key()-keyed maps via
+// m[string(b)].
+func appendKey(b []byte, p dataflow.ParallelismVector) []byte {
+	for i, k := range p {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(k), 10)
+	}
+	return b
+}
+
+// scoreCandidates fills acqVals[i], means[i], stds[i] for each encoded
+// candidate xs[i], sharding the pool across workers. The factorization is
+// read-only during the sweep and each worker owns a disjoint index range
+// plus its own gp.Workspace (the serial path reuses the caller's ws to
+// keep its kernel cache warm), so scoring is embarrassingly parallel and
+// the values — and therefore the suggestion — are bit-identical for any
+// worker count.
+func (o *Optimizer) scoreCandidates(ws *gp.Workspace, xs [][]float64, acqVals, means, stds []float64, acq Acquisition, fBest float64) {
+	scoreRange := func(ws *gp.Workspace, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mean, v, err := o.model.PredictWS(ws, xs[i])
+			if err != nil {
+				acqVals[i] = math.Inf(-1)
+				means[i] = math.Inf(-1)
+				stds[i] = 0
+				continue
+			}
+			means[i] = mean
+			std := math.Sqrt(v)
+			stds[i] = std
+			if acq == AcqUCB {
+				acqVals[i] = UpperConfidenceBound(mean, std, ucbBeta)
+			} else {
+				acqVals[i] = ExpectedImprovement(mean, std, fBest, o.xi)
+			}
+		}
+	}
+	workers := o.sweepWorkers()
+	const minPerWorker = 16
+	if workers > len(xs)/minPerWorker {
+		workers = len(xs) / minPerWorker
+	}
+	if workers <= 1 {
+		scoreRange(ws, 0, len(xs))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var wws gp.Workspace
+			scoreRange(&wws, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // SuggestAcq proposes the next configuration maximizing the chosen
 // acquisition function over the candidate pool (with hill-climb
 // refinement). AcqUCB uses β = 2.
+//
+// The pool is encoded once into a contiguous float buffer, scored in
+// parallel (see scoreCandidates), and reduced deterministically; the
+// leading EI and posterior-mean candidates are then refined by three
+// concurrent hill climbs whose results re-enter the same deterministic
+// selection.
 func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, error) {
 	exploit := acq == AcqMean
 	if err := o.refit(); err != nil {
@@ -233,126 +437,235 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 	best, _ := o.Best()
 	fBest := best.Score
 
-	evaluated := map[string]bool{}
+	evaluated := make(map[string]bool, len(o.obs))
 	for _, ob := range o.obs {
 		if !ob.Estimated {
 			evaluated[ob.Par.Key()] = true
 		}
 	}
 
-	eiAt := func(p dataflow.ParallelismVector) float64 {
-		mean, std, err := o.model.PredictStd(p.Floats())
-		if err != nil {
-			return -1
+	candidates, candKeys := o.candidatePool(best.Par)
+	dim := o.space.Dim()
+	// Encode the pool once into one backing array: candidate i's float
+	// vector is enc[i*dim : (i+1)*dim], shared by scoring and climbs.
+	enc := make([]float64, len(candidates)*dim)
+	xs := make([][]float64, 0, len(candidates)+3)
+	for i, c := range candidates {
+		x := enc[i*dim : (i+1)*dim : (i+1)*dim]
+		for d, k := range c {
+			x[d] = float64(k)
 		}
-		if acq == AcqUCB {
-			const beta = 2.0
-			return UpperConfidenceBound(mean, std, beta)
-		}
-		return ExpectedImprovement(mean, std, fBest, o.xi)
+		xs = append(xs, x)
 	}
-	meanAt := func(p dataflow.ParallelismVector) float64 {
-		mean, _, err := o.model.PredictStd(p.Floats())
-		if err != nil {
-			return math.Inf(-1)
-		}
-		return mean
+	n := len(candidates)
+	acqVals := make([]float64, n, n+3)
+	means := make([]float64, n, n+3)
+	stds := make([]float64, n, n+3)
+	resources := make([]float64, n, n+3)
+	eligible := make([]bool, n, n+3)
+	for i, c := range candidates {
+		resources[i] = o.resourceTerm(c)
+		eligible[i] = !evaluated[candKeys[i]]
+	}
+	// sws serves every serial stage of this suggestion — sweep, climbs,
+	// climb-result scoring — so its memoized kernel values stay warm.
+	var sws gp.Workspace
+	o.scoreCandidates(&sws, xs, acqVals, means, stds, acq, fBest)
+	// The hill climbs below revisit pool points heavily (their starts and
+	// neighborhoods came from the pool); share the sweep's posteriors with
+	// them as a read-only memo.
+	shared := make(map[string]posterior, n)
+	for i := range candidates {
+		shared[candKeys[i]] = posterior{means[i], stds[i]}
 	}
 
-	// resourceTerm is the analytic resource half of the scoring function
-	// (Eq. 4): known without running, it breaks EI near-ties toward
-	// smaller configurations.
-	resourceTerm := func(p dataflow.ParallelismVector) float64 {
-		var s float64
-		for i, k := range p {
-			s += float64(o.space.Base[i]) / float64(k)
-		}
-		return s / float64(len(p))
-	}
+	bestIdx := pickNearTie(acqVals, resources, eligible)
+	meanIdx := argmaxEligible(means, eligible)
 
-	candidates := o.candidatePool(best.Par)
-	var (
-		bestEI   = -1.0
-		bestCand dataflow.ParallelismVector
-		bestMean = math.Inf(-1)
-		meanCand dataflow.ParallelismVector
-	)
-	consider := func(c dataflow.ParallelismVector) {
-		if evaluated[c.Key()] {
-			return
-		}
-		ei := eiAt(c)
-		switch {
-		case ei > bestEI*1.1:
-			bestEI = ei
-			bestCand = c
-		case ei > bestEI*0.9 && bestCand != nil && resourceTerm(c) > resourceTerm(bestCand):
-			// Near-tie: prefer the cheaper configuration.
-			if ei > bestEI {
-				bestEI = ei
+	// Refine the leading candidates by hill-climbing their objective over
+	// the lattice (stronger acquisition optimization than pool scanning
+	// alone; narrow score ridges need it). The climbs are independent —
+	// their starts are fixed by the pool sweep — so they run concurrently,
+	// and their results re-enter the deterministic selection in fixed
+	// order.
+	type climbSpec struct {
+		start dataflow.ParallelismVector
+		useEI bool
+	}
+	var specs []climbSpec
+	if bestIdx >= 0 {
+		specs = append(specs, climbSpec{candidates[bestIdx], true})
+	}
+	if meanIdx >= 0 {
+		specs = append(specs, climbSpec{candidates[meanIdx], false})
+	}
+	// The incumbent-start mean climb only pays off while the pool is still
+	// global: once it has contracted to the trust region, the incumbent's
+	// neighborhood is densely sampled and the climb from meanIdx covers the
+	// same basin.
+	if best.Par != nil && o.NumReal() < trustAfter &&
+		!(meanIdx >= 0 && best.Par.Equal(candidates[meanIdx])) {
+		specs = append(specs, climbSpec{best.Par, false})
+	}
+	results := make([]dataflow.ParallelismVector, len(specs))
+	// newClimber wraps a workspace with a memo on top of shared. The serial
+	// path reuses a single climber across all climbs and writes straight
+	// into shared (one map, one probe); the parallel path gives each climb
+	// its own overlay map so shared stays read-only under concurrency.
+	// Memoized posteriors are the values the model would recompute, so both
+	// paths pick identical suggestions.
+	newClimber := func(ws *gp.Workspace, local map[string]posterior, overlay bool) func(int) {
+		buf := make([]float64, dim)
+		ckb := make([]byte, 0, 4*dim)
+		predict := func(p dataflow.ParallelismVector, needStd bool) posterior {
+			ckb = appendKey(ckb[:0], p)
+			if pr, ok := local[string(ckb)]; ok && (!needStd || !math.IsNaN(pr.std)) {
+				return pr
 			}
-			bestCand = c
-		case ei > bestEI:
-			bestEI = ei
-			bestCand = c
+			if overlay {
+				if pr, ok := shared[string(ckb)]; ok && (!needStd || !math.IsNaN(pr.std)) {
+					return pr
+				}
+			}
+			for d, k := range p {
+				buf[d] = float64(k)
+			}
+			var pr posterior
+			if needStd {
+				mean, v, err := o.model.PredictWS(ws, buf)
+				if err != nil {
+					return posterior{math.Inf(-1), 0}
+				}
+				pr = posterior{mean, math.Sqrt(v)}
+			} else {
+				mean, err := o.model.PredictMeanWS(ws, buf)
+				if err != nil {
+					return posterior{math.Inf(-1), math.NaN()}
+				}
+				pr = posterior{mean, math.NaN()}
+			}
+			local[string(ckb)] = pr
+			return pr
 		}
-		if m := meanAt(c); m > bestMean {
-			bestMean = m
-			meanCand = c
+		return func(i int) {
+			spec := specs[i]
+			obj := func(p dataflow.ParallelismVector) float64 {
+				if !spec.useEI {
+					return predict(p, false).mean
+				}
+				pr := predict(p, true)
+				if acq == AcqUCB {
+					return UpperConfidenceBound(pr.mean, pr.std, ucbBeta)
+				}
+				return ExpectedImprovement(pr.mean, pr.std, fBest, o.xi)
+			}
+			results[i] = o.hillClimb(spec.start, obj, evaluated)
 		}
 	}
-	for _, c := range candidates {
-		consider(c)
+	if o.sweepWorkers() <= 1 || len(specs) <= 1 {
+		climb := newClimber(&sws, shared, false)
+		for i := range specs {
+			climb(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range specs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var cws gp.Workspace
+				newClimber(&cws, map[string]posterior{}, true)(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	// Refine the two leading candidates by hill-climbing their objective
-	// over the lattice (stronger acquisition optimization than pool
-	// scanning alone; narrow score ridges need it).
-	if bestCand != nil {
-		consider(o.hillClimb(bestCand, eiAt, evaluated))
+	// Score the climb results serially (a handful of points) and re-run
+	// the selection over the extended arrays.
+	for _, p := range results {
+		x := p.Floats()
+		mean, v, err := o.model.PredictWS(&sws, x)
+		if err != nil {
+			continue
+		}
+		std := math.Sqrt(v)
+		av := ExpectedImprovement(mean, std, fBest, o.xi)
+		if acq == AcqUCB {
+			av = UpperConfidenceBound(mean, std, ucbBeta)
+		}
+		candidates = append(candidates, p)
+		xs = append(xs, x)
+		acqVals = append(acqVals, av)
+		means = append(means, mean)
+		resources = append(resources, o.resourceTerm(p))
+		eligible = append(eligible, !evaluated[p.Key()])
 	}
-	if meanCand != nil {
-		consider(o.hillClimb(meanCand, meanAt, evaluated))
+	bestIdx = pickNearTie(acqVals, resources, eligible)
+	meanIdx = argmaxEligible(means, eligible)
+
+	if exploit && meanIdx >= 0 {
+		return candidates[meanIdx], nil
 	}
-	if best.Par != nil {
-		consider(o.hillClimb(best.Par, meanAt, evaluated))
-	}
-	if exploit && meanCand != nil {
-		return meanCand, nil
-	}
-	if bestCand == nil {
-		if meanCand == nil {
+	if bestIdx < 0 {
+		if meanIdx < 0 {
 			return nil, errors.New("bo: no unevaluated candidates remain")
 		}
-		return meanCand, nil
+		return candidates[meanIdx], nil
 	}
-	if bestEI <= 0 && meanCand != nil {
-		return meanCand, nil
+	if acqVals[bestIdx] <= 0 && meanIdx >= 0 {
+		return candidates[meanIdx], nil
 	}
-	return bestCand, nil
+	return candidates[bestIdx], nil
+}
+
+// argmaxEligible returns the first index maximizing vals among eligible
+// entries, or −1 if none.
+func argmaxEligible(vals []float64, eligible []bool) int {
+	best := -1
+	for i, v := range vals {
+		if !eligible[i] {
+			continue
+		}
+		if best < 0 || v > vals[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // hillClimb coordinate-descends objective (maximizing) over the lattice
-// starting at p, trying ±{1,2,4,8,16} per coordinate, until no move
-// improves or the evaluation budget is spent. Points in `skip` may be
-// traversed but never returned.
+// starting at p, trying ±{1,2,4,8} per coordinate, until no move improves
+// or the evaluation budget is spent. Longer jumps are the candidate pool's
+// job — climb starts already won a sweep that included ±16 neighbors of
+// the incumbent. Points in `skip` may be traversed but never returned. The
+// climb mutates a single scratch vector per move, so it allocates nothing
+// beyond the two working vectors.
 func (o *Optimizer) hillClimb(p dataflow.ParallelismVector, objective func(dataflow.ParallelismVector) float64, skip map[string]bool) dataflow.ParallelismVector {
 	cur := p.Clone()
+	q := make(dataflow.ParallelismVector, len(cur))
 	curV := objective(cur)
 	budget := 200
 	improved := true
 	for improved && budget > 0 {
 		improved = false
 		for dim := 0; dim < len(cur) && budget > 0; dim++ {
-			for _, step := range []int{-16, -8, -4, -2, -1, 1, 2, 4, 8, 16} {
-				q := cur.Clone()
-				q[dim] += step
-				q = o.space.Clamp(q)
-				if q.Equal(cur) {
+			for _, step := range [...]int{-8, -4, -2, -1, 1, 2, 4, 8} {
+				copy(q, cur)
+				k := q[dim] + step
+				// Only coordinate dim moved; clamp it alone.
+				if k < o.space.Base[dim] {
+					k = o.space.Base[dim]
+				}
+				if k > o.space.PMax {
+					k = o.space.PMax
+				}
+				if k == cur[dim] {
 					continue
 				}
+				q[dim] = k
 				budget--
 				if v := objective(q); v > curV {
-					cur, curV = q, v
+					cur, q = q, cur
+					curV = v
 					improved = true
 					break
 				}
@@ -370,19 +683,30 @@ func (o *Optimizer) hillClimb(p dataflow.ParallelismVector, objective func(dataf
 // the space corners. Once enough real observations exist, the pool
 // contracts to a trust region around the incumbent and the base corner
 // (TuRBO-style), trading global exploration for convergence.
-func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) []dataflow.ParallelismVector {
-	seen := map[string]bool{}
-	var pool []dataflow.ParallelismVector
-	add := func(p dataflow.ParallelismVector) {
+//
+// The returned keys slice holds each candidate's canonical Key(), interned
+// once by the dedup pass — SuggestAcq reuses the strings for its
+// evaluated-point and posterior-memo maps instead of re-encoding.
+func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) (pool []dataflow.ParallelismVector, keys []string) {
+	seen := make(map[string]bool, 256)
+	kb := make([]byte, 0, 4*o.space.Dim())
+	// add appends p to the pool and reports whether it was kept (in the
+	// space and not a duplicate). Callers that keep p's storage alive only
+	// when pooled rely on the return value.
+	add := func(p dataflow.ParallelismVector) bool {
 		if p == nil || !o.space.Contains(p) {
-			return
+			return false
 		}
-		if !seen[p.Key()] {
-			seen[p.Key()] = true
-			pool = append(pool, p)
+		kb = appendKey(kb[:0], p)
+		if seen[string(kb)] {
+			return false
 		}
+		k := string(kb)
+		seen[k] = true
+		pool = append(pool, p)
+		keys = append(keys, k)
+		return true
 	}
-	const trustAfter = 12 // real samples before the pool contracts
 	localOnly := o.NumReal() >= trustAfter
 	if !localOnly {
 		const randomCount = 256
@@ -394,10 +718,21 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) []datafl
 	// resource term is maximal at base, so the optimum sits on the
 	// latency-feasibility boundary close to it. Cubic-biased offsets
 	// keep most candidates within a few steps of base while still
-	// reaching deeper occasionally.
-	const nearBaseCount = 128
+	// reaching deeper occasionally. Once the pool has contracted to the
+	// trust region, the hill climbs do the fine-grained refinement and a
+	// sparser blanket suffices. The samples are carved out of one backing
+	// array (a slot is reused when the draw is a duplicate), so the loop
+	// allocates O(1) vectors instead of one per draw.
+	nearBaseCount := 128
+	if localOnly {
+		nearBaseCount = 64
+	}
+	dim := o.space.Dim()
+	backing := make(dataflow.ParallelismVector, 0, nearBaseCount*dim)
 	for i := 0; i < nearBaseCount; i++ {
-		p := o.space.Base.Clone()
+		start := len(backing)
+		backing = append(backing, o.space.Base...)
+		p := backing[start : start+dim : start+dim]
 		for d := range p {
 			r := o.rng.Float64()
 			span := o.space.PMax - o.space.Base[d]
@@ -405,9 +740,16 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) []datafl
 				span = 24
 			}
 			off := int(r * r * r * float64(span+1))
+			if off > span {
+				off = span
+			}
 			p[d] += off
 		}
-		add(o.space.Clamp(p))
+		// Offsets are capped at span = PMax − Base[d], so p is in-bounds
+		// by construction — no clamp pass needed.
+		if !add(p) {
+			backing = backing[:start]
+		}
 	}
 	if incumbent != nil {
 		for _, step := range []int{1, 2, 4, 8, 16} {
@@ -430,5 +772,5 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) []datafl
 	if !localOnly {
 		add(dataflow.Uniform(o.space.Dim(), o.space.PMax))
 	}
-	return pool
+	return pool, keys
 }

@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -109,13 +110,18 @@ func (p ParallelismVector) Max() int {
 	return m
 }
 
-// Key returns a canonical string usable as a map key.
+// Key returns a canonical string usable as a map key. The hot BO paths
+// (candidate dedup, evaluated-point filtering) key maps by it, so it is
+// built with a single buffer instead of per-element formatting.
 func (p ParallelismVector) Key() string {
-	parts := make([]string, len(p))
+	b := make([]byte, 0, 4*len(p))
 	for i, k := range p {
-		parts[i] = fmt.Sprintf("%d", k)
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(k), 10)
 	}
-	return strings.Join(parts, ",")
+	return string(b)
 }
 
 // String renders like the paper: (k1, k2, ..., kN).

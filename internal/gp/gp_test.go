@@ -311,3 +311,179 @@ func TestTrainingDataRoundTrip(t *testing.T) {
 		t.Fatalf("model corrupted by mutation: %v", m)
 	}
 }
+
+// Property: a model grown with Append matches a from-scratch Fit on the
+// full data to 1e-9 — factor, mean, and posterior predictions.
+func TestAppendMatchesFullFit(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stat.NewRNG(seed)
+		n := 4 + rng.Intn(12)
+		dim := 1 + rng.Intn(3)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = make([]float64, dim)
+			for d := range xs[i] {
+				xs[i][d] = rng.Float64() * 10
+			}
+			ys[i] = math.Sin(xs[i][0]) + rng.Float64()*0.1
+		}
+		kern := Matern52{Variance: 1, LengthScale: 2}
+		full := New(kern, 1e-4)
+		if err := full.Fit(xs, ys); err != nil {
+			return false
+		}
+		inc := New(kern, 1e-4)
+		m := 1 + rng.Intn(n-1)
+		if err := inc.Fit(xs[:m], ys[:m]); err != nil {
+			return false
+		}
+		for i := m; i < n; i++ {
+			if err := inc.Append(xs[i], ys[i]); err != nil {
+				return false
+			}
+		}
+		if inc.NumData() != full.NumData() {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			q := make([]float64, dim)
+			for d := range q {
+				q[d] = rng.Float64() * 10
+			}
+			m1, v1, err1 := full.Predict(q)
+			m2, v2, err2 := inc.Predict(q)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if math.Abs(m1-m2) > 1e-9 || math.Abs(v1-v2) > 1e-9 {
+				return false
+			}
+		}
+		l1, _ := full.LogMarginalLikelihood()
+		l2, _ := inc.LogMarginalLikelihood()
+		return math.Abs(l1-l2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := New(Matern52{Variance: 1, LengthScale: 1}, 1e-4)
+	if err := r.Append([]float64{1}, 1); err != ErrNoData {
+		t.Fatalf("Append before Fit err = %v, want ErrNoData", err)
+	}
+	if err := r.Fit([][]float64{{0}, {1}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append([]float64{1, 2}, 3); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if r.NumData() != 2 {
+		t.Fatalf("failed Append changed NumData to %d", r.NumData())
+	}
+	if err := r.Append([]float64{2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumData() != 3 {
+		t.Fatalf("NumData = %d, want 3", r.NumData())
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := stat.NewRNG(11)
+	xs := make([][]float64, 12)
+	ys := make([]float64, 12)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 5, rng.Float64() * 5}
+		ys[i] = rng.Float64()
+	}
+	r, err := FitAuto(xs, ys, FitOptions{Family: FamilyMatern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 20)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 5, rng.Float64() * 5}
+	}
+	means := make([]float64, len(queries))
+	variances := make([]float64, len(queries))
+	var ws Workspace
+	if err := r.PredictBatch(&ws, queries, means, variances); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		m, v, err := r.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != means[i] || v != variances[i] {
+			t.Fatalf("batch[%d] = (%v, %v), Predict = (%v, %v)", i, means[i], variances[i], m, v)
+		}
+	}
+	// Mean-only batch skips the variance solve but matches means.
+	meansOnly := make([]float64, len(queries))
+	if err := r.PredictBatch(&ws, queries, meansOnly, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if meansOnly[i] != means[i] {
+			t.Fatalf("mean-only batch[%d] = %v, want %v", i, meansOnly[i], means[i])
+		}
+	}
+	// Steady-state batch prediction must not allocate.
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := r.PredictBatch(&ws, queries, means, variances); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictBatch allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	r := New(RBF{Variance: 1, LengthScale: 1}, 1e-4)
+	var ws Workspace
+	if err := r.PredictBatch(&ws, [][]float64{{1}}, []float64{0}, nil); err != ErrNoData {
+		t.Fatalf("unfitted PredictBatch err = %v", err)
+	}
+	if err := r.Fit([][]float64{{0}, {1}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PredictBatch(&ws, [][]float64{{1}, {2}}, []float64{0}, nil); err == nil {
+		t.Fatal("short means should error")
+	}
+	if err := r.PredictBatch(&ws, [][]float64{{1}, {2}}, nil, []float64{0}); err == nil {
+		t.Fatal("short variances should error")
+	}
+}
+
+// FitAuto's grid search over the shared distance matrix must agree with
+// fitting the winning kernel directly on the raw inputs.
+func TestFitAutoMatchesDirectFit(t *testing.T) {
+	rng := stat.NewRNG(17)
+	xs := make([][]float64, 15)
+	ys := make([]float64, 15)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64() * 8, rng.Float64() * 8}
+		ys[i] = math.Sin(xs[i][0]) * math.Cos(xs[i][1])
+	}
+	auto, err := FitAuto(xs, ys, FitOptions{Family: FamilyMatern52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := New(auto.Kernel(), auto.Noise())
+	if err := direct.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := []float64{rng.Float64() * 8, rng.Float64() * 8}
+		m1, v1, _ := auto.Predict(q)
+		m2, v2, _ := direct.Predict(q)
+		if math.Abs(m1-m2) > 1e-9 || math.Abs(v1-v2) > 1e-9 {
+			t.Fatalf("FitAuto model diverges from direct fit: (%v,%v) vs (%v,%v)", m1, v1, m2, v2)
+		}
+	}
+}

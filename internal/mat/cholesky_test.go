@@ -149,3 +149,184 @@ func TestSolveVecPanicsOnBadLength(t *testing.T) {
 	}()
 	c.SolveVec([]float64{1})
 }
+
+// Property: a factor grown one row at a time via Append matches the
+// from-scratch factorization of the full matrix to 1e-9.
+func TestCholeskyAppendMatchesFromScratch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		a := randomSPD(rng, n)
+		full, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		inc, err := NewCholesky(NewMatrixFrom(1, 1, []float64{a.At(0, 0)}))
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			col := make([]float64, i)
+			for j := 0; j < i; j++ {
+				col[j] = a.At(i, j)
+			}
+			if err := inc.Append(col, a.At(i, i)); err != nil {
+				return false
+			}
+		}
+		return inc.L().MaxAbsDiff(full.L()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyAppendRejectsNonSPDExtension(t *testing.T) {
+	c, err := NewCholesky(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bordering the identity with a unit-norm-exceeding column makes the
+	// Schur complement negative: diag - wᵀw = 1 - 8 < 0.
+	if err := c.Append([]float64{2, 2}, 1); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	// The factor must be unchanged after a failed Append.
+	if c.Size() != 2 || c.L().MaxAbsDiff(Identity(2)) != 0 {
+		t.Fatalf("failed Append mutated the factor: n=%d", c.Size())
+	}
+	// A valid extension still works afterwards.
+	if err := c.Append([]float64{0.1, 0.1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", c.Size())
+	}
+}
+
+func TestCholeskyAppendPanicsOnBadLength(t *testing.T) {
+	c, err := NewCholesky(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = c.Append([]float64{1}, 1)
+}
+
+// SolveVecInto / SolveLowerVecInto match their allocating counterparts and
+// tolerate aliasing dst with b.
+func TestCholeskySolveIntoMatchesSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*rng.Float64() - 1
+		}
+		x := c.SolveVec(b)
+		dst := make([]float64, n)
+		c.SolveVecInto(dst, b)
+		for i := range x {
+			if x[i] != dst[i] {
+				return false
+			}
+		}
+		y := c.SolveLowerVec(b)
+		aliased := CopyVec(b)
+		c.SolveLowerVecInto(aliased, aliased)
+		for i := range y {
+			if y[i] != aliased[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyClone(t *testing.T) {
+	c, err := NewCholesky(NewMatrixFrom(2, 2, []float64{4, 2, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Clone()
+	if err := cl.Append([]float64{0.5, 0.5}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 || cl.Size() != 3 {
+		t.Fatalf("Clone not independent: %d, %d", c.Size(), cl.Size())
+	}
+}
+
+func TestCholeskyFactorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := new(Cholesky)
+	// Refactoring the same Cholesky over matrices of varying size must
+	// match a fresh factorization exactly — stale rows from a larger
+	// previous factor must not leak into a smaller one.
+	for _, n := range []int{6, 10, 3, 10, 1, 7} {
+		a := randomSPD(rng, n)
+		if err := c.Factor(a, 0); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		fresh, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := c.L().MaxAbsDiff(fresh.L()); d != 0 {
+			t.Fatalf("n=%d: reused factor differs from fresh by %g", n, d)
+		}
+	}
+	// Same-size refactoring reuses the buffers: zero allocations.
+	a := randomSPD(rng, 8)
+	if err := c.Factor(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.Factor(a, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("same-size Factor allocates %v times per run", allocs)
+	}
+}
+
+func TestCholeskyFactorJitteredMatchesNewJittered(t *testing.T) {
+	// A singular matrix (rank 1) forces the jitter ladder; the in-place
+	// form must land on the same jitter and factor as the allocating form.
+	a := NewMatrixFrom(3, 3, []float64{
+		1, 1, 1,
+		1, 1, 1,
+		1, 1, 1,
+	})
+	c := new(Cholesky)
+	j1, err := c.FactorJittered(a, 1e-10, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, j2, err := NewCholeskyJittered(a, 1e-10, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatalf("jitters differ: %g vs %g", j1, j2)
+	}
+	if j1 == 0 {
+		t.Fatal("singular matrix factored without jitter")
+	}
+	if d := c.L().MaxAbsDiff(fresh.L()); d != 0 {
+		t.Fatalf("factors differ by %g", d)
+	}
+}
