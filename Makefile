@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp check experiments summary fmt vet clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/
 
 cover:
 	$(GO) test -cover ./...
@@ -23,13 +23,19 @@ bench:
 
 # Micro-benchmarks the numerical core must not regress on. Each benchmark
 # runs 3 times and the per-benchmark minimum is compared against
-# BENCH_BASELINE.json; >20% slower fails. Refresh the baseline after a
-# deliberate change with:
+# BENCH_BASELINE.json; >20% slower in ns/op fails, and benchmarks with a
+# recorded allocs/op fail on allocation growth (BenchmarkTraceOverhead is
+# pinned at 0 allocs so tracing can never leak into the disabled hot
+# path). Refresh the baseline after a deliberate change with:
 #   make benchcmp BENCHCMP_FLAGS=-update
-BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
+
+# The full pre-merge gate: static checks, unit tests, the race detector
+# on the concurrency-bearing packages, and the benchmark baseline.
+check: vet test race benchcmp
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

@@ -19,6 +19,7 @@ import (
 	"autrascale/internal/gp"
 	"autrascale/internal/mat"
 	"autrascale/internal/stat"
+	"autrascale/internal/trace"
 	"autrascale/internal/workloads"
 )
 
@@ -331,6 +332,37 @@ func benchBOSuggest(b *testing.B, workers int) {
 		b.StartTimer()
 		if _, err := opt.Suggest(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOverhead measures the disabled-tracer no-op path that the
+// instrumented hot loops (bo.Suggest, the MAPE step) go through when no
+// tracer is configured. Each op performs 64 full span lifecycles —
+// StartSpan, typed attribute sets, a child span, End — against a nil
+// *trace.Tracer. The benchcmp gate pins this at 0 allocs/op: if
+// instrumentation ever allocates on the disabled path, PR 1's
+// zero-allocation inference gains regress and the gate fails.
+func BenchmarkTraceOverhead(b *testing.B) {
+	var tracer *trace.Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			sp := tracer.StartSpan("bo.suggest")
+			sp.SetStr("par", "(3, 4, 12, 10)")
+			sp.SetFloat("posterior_mean", 0.9)
+			sp.SetFloat("posterior_std", 0.05)
+			sp.SetFloat("acq_value", 0.01)
+			sp.SetInt("pool", 256)
+			sp.SetBool("eligible", true)
+			child := sp.Child("algorithm1.iteration")
+			child.SetInt("iter", j)
+			child.End()
+			sp.End()
+		}
+		if tracer.Enabled() {
+			b.Fatal("nil tracer must report disabled")
 		}
 	}
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
-//	           [-seed N] [-mode controller|once]
+//	           [-seed N] [-mode controller|once] [-explain]
 //
 // Modes:
 //
@@ -12,6 +12,11 @@
 //	            and print the recommended configuration (default)
 //	controller  run the full MAPE loop for -duration simulated seconds,
 //	            printing every decision event
+//
+// With -explain, every decision is followed by a "why this
+// configuration" report: the Eq. 3 base, each BO iteration's posterior
+// and Eq. 9 margin, and (for transfer) which library model seeded the
+// search.
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 		duration = flag.Float64("duration", 3600, "controller mode: simulated seconds to run")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		mode     = flag.String("mode", "once", "once | controller")
+		explain  = flag.Bool("explain", false, "print a 'why this configuration' report per decision")
 	)
 	flag.Parse()
 
@@ -59,9 +65,9 @@ func main() {
 
 	switch *mode {
 	case "once":
-		runOnce(engine, spec, *rate, *latency, *seed)
+		runOnce(engine, spec, *rate, *latency, *seed, *explain)
 	case "controller":
-		runController(engine, *latency, *duration, *seed)
+		runController(engine, *latency, *duration, *seed, *explain)
 	default:
 		fmt.Fprintf(os.Stderr, "autrascale: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -80,7 +86,7 @@ func findWorkload(name string) (workloads.Spec, bool) {
 	return workloads.Spec{}, false
 }
 
-func runOnce(engine *flink.Engine, spec workloads.Spec, rate, latency float64, seed uint64) {
+func runOnce(engine *flink.Engine, spec workloads.Spec, rate, latency float64, seed uint64, explain bool) {
 	fmt.Printf("workload %s: target %.0f records/s, latency <= %.0f ms\n",
 		spec.Name, rate, latency)
 
@@ -106,9 +112,24 @@ func runOnce(engine *flink.Engine, spec workloads.Spec, rate, latency float64, s
 	fmt.Printf("  latency   %.0f ms (met=%v)\n", res.Best.ProcLatencyMS, res.Best.LatencyMet)
 	fmt.Printf("  throughput %.0f records/s\n", res.Best.ThroughputRPS)
 	fmt.Printf("  score     %.3f\n", res.Best.Score)
+
+	if explain {
+		rep := core.DecisionReport{
+			TimeSec:            engine.Now(),
+			Action:             core.ActionAlgorithm1,
+			Reason:             "one-shot run",
+			RateRPS:            rate,
+			Base:               tr.Base,
+			ThroughputIters:    tr.Iterations,
+			ReachedTarget:      tr.ReachedTarget,
+			TerminatedByRepeat: tr.TerminatedByRepeat,
+		}
+		rep.FillFromAlgorithm1(res)
+		fmt.Print("\n" + rep.Explain())
+	}
 }
 
-func runController(engine *flink.Engine, latency, duration float64, seed uint64) {
+func runController(engine *flink.Engine, latency, duration float64, seed uint64, explain bool) {
 	ctl, err := core.NewController(engine, core.ControllerConfig{
 		TargetLatencyMS: latency,
 		Seed:            seed,
@@ -125,6 +146,12 @@ func runController(engine *flink.Engine, latency, duration float64, seed uint64)
 	for _, ev := range events {
 		fmt.Printf("%-9.0f %-12s %-22s %-12.0f %-12.0f %s\n",
 			ev.TimeSec, ev.Action, ev.Par.String(), ev.ProcLatencyMS, ev.ThroughputRPS, ev.Reason)
+	}
+	if explain {
+		fmt.Println()
+		for _, rep := range ctl.Decisions() {
+			fmt.Print(rep.Explain())
+		}
 	}
 }
 

@@ -1,18 +1,21 @@
 // Command benchcmp guards the numerical core against performance
-// regressions. It parses `go test -bench` output on stdin, takes the
-// minimum ns/op per benchmark across repeated runs (the most
-// noise-robust point estimate on a shared machine), and compares each
-// against the recorded baseline:
+// regressions. It parses `go test -bench -benchmem` output on stdin,
+// takes the minimum ns/op (and allocs/op) per benchmark across repeated
+// runs (the most noise-robust point estimate on a shared machine), and
+// compares each against the recorded baseline:
 //
-//	go test -run '^$' -bench 'BOSuggest$|GPFitPredict$' -count 3 . |
+//	go test -run '^$' -bench 'BOSuggest$|GPFitPredict$' -benchmem -count 3 . |
 //	    benchcmp -baseline BENCH_BASELINE.json
 //
 // The exit status is non-zero when any baselined benchmark regressed by
-// more than -threshold (default 20%), or is missing from the input (a
-// rename or deletion must update the baseline deliberately). Benchmarks
-// in the input but not the baseline are reported informationally.
-// -update rewrites the baseline file from the measured values instead
-// of comparing.
+// more than -threshold (default 20%) in ns/op, exceeded its baseline
+// allocs/op, or is missing from the input (a rename or deletion must
+// update the baseline deliberately). The allocation gate is strict for
+// zero-alloc baselines: a benchmark recorded at 0 allocs/op fails on the
+// first leaked allocation — this is how BenchmarkTraceOverhead pins the
+// disabled-tracer path at zero cost. Benchmarks in the input but not the
+// baseline are reported informationally. -update rewrites the baseline
+// file from the measured values instead of comparing.
 package main
 
 import (
@@ -30,16 +33,25 @@ import (
 //
 //	BenchmarkBOSuggest-8    4618    242443 ns/op    75697 B/op    431 allocs/op
 //
-// (the -N GOMAXPROCS suffix is absent on single-proc runs).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// (the -N GOMAXPROCS suffix is absent on single-proc runs; the memory
+// columns are absent without -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+
+// entry is one benchmark's baseline record. AllocsPerOp is a pointer so
+// baselines written before -benchmem was piped in (or hand-edited to
+// drop the gate) keep working: nil means "no allocation gate".
+type entry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file (benchmark name → ns/op)")
-	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional regression")
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline file (benchmark name → ns/op, allocs/op)")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression")
 	update := flag.Bool("update", false, "rewrite the baseline from the measured values")
 	flag.Parse()
 
-	measured := map[string]float64{}
+	measured := map[string]entry{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -50,9 +62,24 @@ func main() {
 		if err != nil {
 			continue
 		}
-		if old, ok := measured[m[1]]; !ok || ns < old {
-			measured[m[1]] = ns
+		e := entry{NsPerOp: ns}
+		if m[3] != "" {
+			if allocs, err := strconv.ParseFloat(m[3], 64); err == nil {
+				e.AllocsPerOp = &allocs
+			}
 		}
+		old, ok := measured[m[1]]
+		if !ok {
+			measured[m[1]] = e
+			continue
+		}
+		if e.NsPerOp < old.NsPerOp {
+			old.NsPerOp = e.NsPerOp
+		}
+		if e.AllocsPerOp != nil && (old.AllocsPerOp == nil || *e.AllocsPerOp < *old.AllocsPerOp) {
+			old.AllocsPerOp = e.AllocsPerOp
+		}
+		measured[m[1]] = old
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("reading stdin: %v", err)
@@ -77,8 +104,8 @@ func main() {
 	if err != nil {
 		fatalf("reading %s: %v (run with -update to create it)", *baselinePath, err)
 	}
-	baseline := map[string]float64{}
-	if err := json.Unmarshal(raw, &baseline); err != nil {
+	baseline, err := parseBaseline(raw)
+	if err != nil {
 		fatalf("parsing %s: %v", *baselinePath, err)
 	}
 
@@ -93,27 +120,68 @@ func main() {
 		base := baseline[name]
 		got, ok := measured[name]
 		if !ok {
-			fmt.Printf("FAIL %-28s missing from input (baseline %.0f ns/op)\n", name, base)
+			fmt.Printf("FAIL %-28s missing from input (baseline %.0f ns/op)\n", name, base.NsPerOp)
 			failed = true
 			continue
 		}
-		delta := got/base - 1
+		delta := got.NsPerOp/base.NsPerOp - 1
 		status := "ok  "
+		note := ""
 		if delta > *threshold {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n", status, name, got, base, 100*delta)
+		if base.AllocsPerOp != nil {
+			switch {
+			case got.AllocsPerOp == nil:
+				status = "FAIL"
+				failed = true
+				note = "  [no allocs/op in input: pipe -benchmem]"
+			case allocRegressed(*got.AllocsPerOp, *base.AllocsPerOp, *threshold):
+				status = "FAIL"
+				failed = true
+				note = fmt.Sprintf("  [allocs %.0f/op, baseline %.0f]", *got.AllocsPerOp, *base.AllocsPerOp)
+			default:
+				note = fmt.Sprintf("  [allocs %.0f/op]", *got.AllocsPerOp)
+			}
+		}
+		fmt.Printf("%s %-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%)%s\n",
+			status, name, got.NsPerOp, base.NsPerOp, 100*delta, note)
 	}
 	for name, got := range measured {
 		if _, ok := baseline[name]; !ok {
-			fmt.Printf("info %-28s %12.0f ns/op  (not in baseline)\n", name, got)
+			fmt.Printf("info %-28s %12.0f ns/op  (not in baseline)\n", name, got.NsPerOp)
 		}
 	}
 	if failed {
 		fmt.Printf("benchcmp: regression beyond %.0f%% of baseline\n", 100**threshold)
 		os.Exit(1)
 	}
+}
+
+// allocRegressed applies the allocation gate: the half-count slack keeps
+// integer jitter out, and makes a 0-alloc baseline fail on the very
+// first leaked allocation.
+func allocRegressed(got, base, threshold float64) bool {
+	return got > base*(1+threshold)+0.5
+}
+
+// parseBaseline reads the nested baseline format, falling back to the
+// legacy flat `{"name": ns}` form so pre-existing baselines compare
+// (without an allocation gate) instead of erroring.
+func parseBaseline(raw []byte) (map[string]entry, error) {
+	baseline := map[string]entry{}
+	if err := json.Unmarshal(raw, &baseline); err == nil {
+		return baseline, nil
+	}
+	flat := map[string]float64{}
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, err
+	}
+	for name, ns := range flat {
+		baseline[name] = entry{NsPerOp: ns}
+	}
+	return baseline, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -2,9 +2,13 @@
 // controller and serves its metrics over HTTP — the Monitor stage of the
 // paper's MAPE loop made scrapeable:
 //
-//	/metrics   Prometheus text exposition of every simulator series
-//	/status    JSON snapshot (current parallelism, rates, controller log)
-//	/healthz   liveness
+//	/metrics          Prometheus text exposition: every simulator series
+//	                  plus controller counters and histograms
+//	/status           JSON snapshot (current parallelism, rates, events)
+//	/debug/decisions  JSON decision reports (why each configuration won)
+//	/debug/trace      recent spans from the decision-path tracer
+//	/debug/pprof/     standard Go profiling endpoints
+//	/healthz          liveness
 //
 // The simulation advances in real time (one simulated second per
 // -tick-interval), so a scraper watches the controller converge live.
@@ -12,7 +16,7 @@
 // Usage:
 //
 //	metricsd [-addr :9090] [-workload wordcount] [-latency ms]
-//	         [-tick-interval 10ms] [-seed N]
+//	         [-tick-interval 10ms] [-seed N] [-trace-capacity 2048]
 package main
 
 import (
@@ -21,12 +25,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"autrascale/internal/core"
+	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
+	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
+	"autrascale/internal/trace"
 	"autrascale/internal/workloads"
 )
 
@@ -35,7 +44,84 @@ type server struct {
 	engine *flink.Engine
 	ctl    *core.Controller
 	store  *metrics.Store
+	tracer *trace.Tracer
 	err    error
+}
+
+// serverConfig parameterizes newServer so tests can build one without
+// flags.
+type serverConfig struct {
+	Workload      string
+	LatencyMS     float64
+	Seed          uint64
+	TraceCapacity int
+	NoNoise       bool
+	// Schedule overrides the workload's constant default rate (tests use
+	// a step schedule to exercise the transfer path).
+	Schedule kafka.RateSchedule
+}
+
+// newServer assembles the simulator, controller, tracer, and store. It
+// does not start the drive loop or listen — callers (main, tests) decide.
+func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
+	var spec workloads.Spec
+	found := false
+	for _, s := range workloads.All() {
+		if s.Name == cfg.Workload {
+			spec, found = s, true
+		}
+	}
+	if !found {
+		return nil, spec, fmt.Errorf("metricsd: unknown workload %q", cfg.Workload)
+	}
+	if cfg.LatencyMS <= 0 {
+		cfg.LatencyMS = spec.TargetLatencyMS
+	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = trace.DefaultCapacity
+	}
+
+	store := metrics.NewStore()
+	tracer := trace.New(cfg.TraceCapacity)
+	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{
+		Store:    store,
+		Seed:     cfg.Seed,
+		NoNoise:  cfg.NoNoise,
+		Tracer:   tracer,
+		Schedule: cfg.Schedule,
+	})
+	if err != nil {
+		return nil, spec, err
+	}
+	ctl, err := core.NewController(engine, core.ControllerConfig{
+		TargetLatencyMS: cfg.LatencyMS,
+		MaxIterations:   10,
+		Seed:            cfg.Seed,
+		Tracer:          tracer,
+	})
+	if err != nil {
+		return nil, spec, err
+	}
+	return &server{engine: engine, ctl: ctl, store: store, tracer: tracer}, spec, nil
+}
+
+// routes builds the HTTP mux. Factored out so tests can hit the handlers
+// through httptest without a listener.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/debug/decisions", s.handleDecisions)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func main() {
@@ -45,47 +131,23 @@ func main() {
 		latency  = flag.Float64("latency", 0, "target latency ms (default: the workload's)")
 		tick     = flag.Duration("tick-interval", 10*time.Millisecond, "wall time per simulated second")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		traceCap = flag.Int("trace-capacity", trace.DefaultCapacity, "span ring-buffer capacity")
 	)
 	flag.Parse()
 
-	var spec workloads.Spec
-	found := false
-	for _, s := range workloads.All() {
-		if s.Name == *workload {
-			spec, found = s, true
-		}
-	}
-	if !found {
-		log.Fatalf("metricsd: unknown workload %q", *workload)
-	}
-	if *latency <= 0 {
-		*latency = spec.TargetLatencyMS
-	}
-
-	store := metrics.NewStore()
-	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{Store: store, Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctl, err := core.NewController(engine, core.ControllerConfig{
-		TargetLatencyMS: *latency,
-		MaxIterations:   10,
-		Seed:            *seed,
+	srv, spec, err := newServer(serverConfig{
+		Workload:      *workload,
+		LatencyMS:     *latency,
+		Seed:          *seed,
+		TraceCapacity: *traceCap,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{engine: engine, ctl: ctl, store: store}
 	go srv.drive(*tick)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", srv.handleMetrics)
-	mux.HandleFunc("/status", srv.handleStatus)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
 	log.Printf("metricsd: %s on %s (latency target %.0f ms)", spec.Name, *addr, *latency)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
 // drive advances the controller continuously, one MAPE step at a time,
@@ -117,27 +179,75 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// statusSnapshot is the fully-materialized /status payload. Every field
+// is copied out of the simulation under the mutex; encoding happens
+// outside the critical section so a slow scraper cannot stall the tick
+// loop.
+type statusSnapshot struct {
+	SimulatedSec float64                    `json:"simulated_sec"`
+	Parallelism  dataflow.ParallelismVector `json:"parallelism"`
+	Restarts     int                        `json:"restarts"`
+	LagRecords   float64                    `json:"lag_records"`
+	Throughput   float64                    `json:"throughput"`
+	LatencyMS    float64                    `json:"latency_ms"`
+	Events       []core.Event               `json:"events"`
+	ModelRates   []float64                  `json:"model_rates"`
+	Error        string                     `json:"error,omitempty"`
+}
+
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	m := s.engine.Measure()
-	status := map[string]interface{}{
-		"simulated_sec": s.engine.Now(),
-		"parallelism":   s.engine.Parallelism(),
-		"restarts":      s.engine.Restarts(),
-		"lag_records":   s.engine.Topic().Lag(),
-		"throughput":    m.ThroughputRPS,
-		"latency_ms":    m.ProcLatencyMS,
-		"events":        s.ctl.Events(),
-		"model_rates":   s.ctl.Library().Rates(),
+	snap := statusSnapshot{
+		SimulatedSec: s.engine.Now(),
+		Parallelism:  s.engine.Parallelism(),
+		Restarts:     s.engine.Restarts(),
+		LagRecords:   s.engine.Topic().Lag(),
+		Throughput:   m.ThroughputRPS,
+		LatencyMS:    m.ProcLatencyMS,
+		Events:       s.ctl.Events(),
+		ModelRates:   s.ctl.Library().Rates(),
 	}
 	if s.err != nil {
-		status["error"] = s.err.Error()
+		snap.Error = s.err.Error()
 	}
 	s.mu.Unlock()
+	writeJSON(w, snap)
+}
+
+// handleDecisions serves the controller's retained decision reports —
+// the full "why this configuration" record per replan/step, newest last.
+// ?n=K limits the response to the last K reports.
+func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reports := s.ctl.Decisions()
+	s.mu.Unlock()
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(reports) {
+		reports = reports[len(reports)-n:]
+	}
+	writeJSON(w, reports)
+}
+
+// handleTrace serves the most recent spans from the ring buffer
+// (oldest-first). ?n=K limits the response to the last K spans.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n > 0 {
+		limit = n
+	}
+	// The tracer has its own lock; the simulation mutex is not needed.
+	spans := s.tracer.Snapshot(limit)
+	writeJSON(w, struct {
+		Dropped uint64       `json:"dropped"`
+		Spans   []trace.Span `json:"spans"`
+	}{Dropped: s.tracer.Dropped(), Spans: spans})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(status); err != nil {
+	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

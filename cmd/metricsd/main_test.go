@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"autrascale/internal/core"
+	"autrascale/internal/kafka"
+	"autrascale/internal/trace"
+)
+
+// stepServer builds a server on the wordcount workload with a step
+// schedule (so both Algorithm 1 and the transfer path fire) and drives
+// the controller synchronously — no drive goroutine, no listener.
+func stepServer(t *testing.T) *server {
+	t.Helper()
+	srv, _, err := newServer(serverConfig{
+		Workload: "wordcount",
+		Seed:     7,
+		NoNoise:  true,
+		Schedule: kafka.StepSchedule{Steps: []kafka.Step{
+			{FromSec: 0, Rate: 150e3},
+			{FromSec: 1200, Rate: 200e3},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// stepUntilTransfer advances the controller past the rate change so the
+// decision log holds both an algorithm1 and an algorithm2 report.
+func stepUntilTransfer(t *testing.T, srv *server) {
+	t.Helper()
+	for i := 0; i < 60; i++ {
+		if _, err := srv.ctl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range srv.ctl.Decisions() {
+			if d.Action == core.ActionAlgorithm2 {
+				return
+			}
+		}
+		if srv.engine.Now() > 3000 {
+			break
+		}
+	}
+	t.Fatal("controller never ran Algorithm 2 (transfer)")
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestDebugDecisionsEndpoint(t *testing.T) {
+	srv := stepServer(t)
+	stepUntilTransfer(t, srv)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	body := get(t, ts, "/debug/decisions")
+	var reports []core.DecisionReport
+	if err := json.Unmarshal(body, &reports); err != nil {
+		t.Fatalf("decode /debug/decisions: %v", err)
+	}
+	if len(reports) < 2 {
+		t.Fatalf("want >= 2 decision reports, got %d", len(reports))
+	}
+
+	var a1, a2 *core.DecisionReport
+	for i := range reports {
+		switch reports[i].Action {
+		case core.ActionAlgorithm1:
+			if a1 == nil {
+				a1 = &reports[i]
+			}
+		case core.ActionAlgorithm2:
+			a2 = &reports[i]
+		}
+	}
+	if a1 == nil {
+		t.Fatal("no algorithm1 decision report")
+	}
+	if a2 == nil {
+		t.Fatal("no algorithm2 (transfer) decision report")
+	}
+
+	// Acceptance: chosen parallelism vector, score F, Eq. 9 bound and
+	// margin, BO iteration count.
+	if len(a1.Chosen) == 0 {
+		t.Error("algorithm1 report has no chosen parallelism vector")
+	}
+	if a1.Score == 0 {
+		t.Error("algorithm1 report has zero score")
+	}
+	if a1.Threshold <= 0 {
+		t.Errorf("eq9 threshold = %v, want > 0", a1.Threshold)
+	}
+	if a1.Margin != a1.Score-a1.Threshold {
+		t.Errorf("eq9 margin %v != score-threshold %v", a1.Margin, a1.Score-a1.Threshold)
+	}
+	if a1.Iterations <= 0 && a1.BootstrapRuns <= 0 {
+		t.Error("algorithm1 report recorded no search effort")
+	}
+	// Transfer specifics: the source model's rate must be the first
+	// planned rate.
+	if a2.TransferSourceRate <= 0 {
+		t.Errorf("transfer_source_rate = %v, want > 0", a2.TransferSourceRate)
+	}
+	if len(a2.LibraryRates) == 0 {
+		t.Error("algorithm2 report has no library rates")
+	}
+
+	// The raw JSON must use the documented field names.
+	for _, key := range []string{
+		`"chosen"`, `"score"`, `"eq9_threshold"`, `"eq9_margin"`,
+		`"bo_iterations"`, `"transfer_source_rate"`, `"iteration_log"`,
+	} {
+		if !strings.Contains(string(body), key) {
+			t.Errorf("/debug/decisions missing field %s", key)
+		}
+	}
+
+	// ?n=1 limits to the most recent report.
+	var last []core.DecisionReport
+	if err := json.Unmarshal(get(t, ts, "/debug/decisions?n=1"), &last); err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 1 {
+		t.Fatalf("?n=1 returned %d reports", len(last))
+	}
+	if last[0].TimeSec != reports[len(reports)-1].TimeSec {
+		t.Error("?n=1 did not return the newest report")
+	}
+}
+
+func TestDebugTraceAndMetricsEndpoints(t *testing.T) {
+	srv := stepServer(t)
+	if _, err := srv.ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var tr struct {
+		Dropped uint64       `json:"dropped"`
+		Spans   []trace.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/debug/trace"), &tr); err != nil {
+		t.Fatalf("decode /debug/trace: %v", err)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("no spans recorded after a planning step")
+	}
+	names := map[string]bool{}
+	for _, s := range tr.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"mape.step", "core.algorithm1", "bo.suggest"} {
+		if !names[want] {
+			t.Errorf("span %q missing from /debug/trace", want)
+		}
+	}
+
+	var limited struct {
+		Spans []trace.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/debug/trace?n=3"), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Spans) != 3 {
+		t.Fatalf("?n=3 returned %d spans", len(limited.Spans))
+	}
+
+	metricsBody := string(get(t, ts, "/metrics"))
+	for _, want := range []string{
+		"autrascale_decisions_total",
+		"autrascale_bo_iterations_bucket",
+		`le="+Inf"`,
+		"autrascale_bo_iterations_count",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestStatusAndHealthz(t *testing.T) {
+	srv := stepServer(t)
+	if _, err := srv.ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var snap statusSnapshot
+	if err := json.Unmarshal(get(t, ts, "/status"), &snap); err != nil {
+		t.Fatalf("decode /status: %v", err)
+	}
+	if snap.SimulatedSec <= 0 {
+		t.Error("status reports no simulated time")
+	}
+	if len(snap.Parallelism) == 0 {
+		t.Error("status reports no parallelism")
+	}
+	if len(snap.Events) == 0 {
+		t.Error("status reports no controller events")
+	}
+
+	if body := string(get(t, ts, "/healthz")); !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %q", body)
+	}
+}
+
+func TestNewServerRejectsUnknownWorkload(t *testing.T) {
+	if _, _, err := newServer(serverConfig{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}

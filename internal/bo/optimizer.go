@@ -11,6 +11,7 @@ import (
 	"autrascale/internal/dataflow"
 	"autrascale/internal/gp"
 	"autrascale/internal/stat"
+	"autrascale/internal/trace"
 )
 
 // ExpectedImprovement computes the EI acquisition value (paper Eq. 5–7)
@@ -79,11 +80,15 @@ type Optimizer struct {
 	rng        *stat.RNG
 	workers    int
 	refitEvery int
+	tracer     *trace.Tracer
 
 	obs   []Observation
 	index map[string]int // Par.Key() → position in obs
 	model *gp.Regressor
 	dirty bool
+	// lastStats explains the most recent suggestion (LastSuggestion).
+	lastStats SuggestionStats
+	haveStats bool
 	// appendsSinceFit counts observations folded into the surrogate by
 	// incremental Cholesky extension since the last full hyperparameter
 	// search; at refitEvery the next refit redoes the full FitAuto.
@@ -113,6 +118,10 @@ type OptimizerConfig struct {
 	// next refit redoes the full hyperparameter search (default 5;
 	// negative disables incremental updates entirely).
 	HyperRefitEvery int
+	// Tracer records a span per suggestion (pool size, chosen candidate,
+	// its posterior and acquisition value). nil disables tracing at zero
+	// cost on the Suggest hot path.
+	Tracer *trace.Tracer
 }
 
 // defaultHyperRefitEvery balances hyperparameter freshness against refit
@@ -144,8 +153,39 @@ func NewOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 		rng:        stat.NewRNG(cfg.Seed ^ 0x51ab_c0ff_ee12_3457),
 		workers:    cfg.SweepWorkers,
 		refitEvery: refitEvery,
+		tracer:     cfg.Tracer,
 		index:      map[string]int{},
 	}, nil
+}
+
+// SuggestionStats explains the most recent suggestion: what was chosen,
+// the GP posterior there, the acquisition value it won with, and how the
+// decision was reached. Algorithm 1's per-iteration trace spans and the
+// -explain report are built from this.
+type SuggestionStats struct {
+	// Par is the suggested configuration.
+	Par dataflow.ParallelismVector
+	// Mean/Std are the GP posterior at Par when it was chosen.
+	Mean, Std float64
+	// AcqValue is the acquisition value at Par (EI or UCB; posterior mean
+	// when the suggestion came from pure exploitation).
+	AcqValue float64
+	// Acquisition is the function the suggestion maximized.
+	Acquisition Acquisition
+	// FBest is the incumbent score the acquisition improved upon.
+	FBest float64
+	// PoolSize/Eligible count scored candidates and those not yet
+	// evaluated (climb results included).
+	PoolSize, Eligible int
+	// Reason labels the selection path: "acq-max", "exploit-mean",
+	// "fallback-mean" (every candidate had zero acquisition value).
+	Reason string
+}
+
+// LastSuggestion returns the stats of the most recent Suggest call; ok
+// is false before the first suggestion.
+func (o *Optimizer) LastSuggestion() (SuggestionStats, bool) {
+	return o.lastStats, o.haveStats
 }
 
 // Space returns the search space.
@@ -596,25 +636,94 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 		xs = append(xs, x)
 		acqVals = append(acqVals, av)
 		means = append(means, mean)
+		stds = append(stds, std)
 		resources = append(resources, o.resourceTerm(p))
 		eligible = append(eligible, !evaluated[p.Key()])
 	}
 	bestIdx = pickNearTie(acqVals, resources, eligible)
 	meanIdx = argmaxEligible(means, eligible)
 
+	// finish records the explanation of the chosen candidate
+	// (LastSuggestion, plus a trace span when enabled) and returns it.
+	finish := func(idx int, reason string) (dataflow.ParallelismVector, error) {
+		nEligible := 0
+		for _, e := range eligible {
+			if e {
+				nEligible++
+			}
+		}
+		av := acqVals[idx]
+		if reason != reasonAcqMax {
+			av = means[idx]
+		}
+		o.lastStats = SuggestionStats{
+			Par:         candidates[idx],
+			Mean:        means[idx],
+			Std:         stds[idx],
+			AcqValue:    av,
+			Acquisition: acq,
+			FBest:       fBest,
+			PoolSize:    len(candidates),
+			Eligible:    nEligible,
+			Reason:      reason,
+		}
+		o.haveStats = true
+		if o.tracer.Enabled() {
+			sp := o.tracer.StartSpan("bo.suggest")
+			sp.SetStr("par", candidates[idx].String())
+			sp.SetStr("reason", reason)
+			sp.SetStr("acquisition", acq.String())
+			sp.SetInt("pool", len(candidates))
+			sp.SetInt("eligible", nEligible)
+			sp.SetInt("observations", len(o.obs))
+			sp.SetFloat("posterior_mean", means[idx])
+			sp.SetFloat("posterior_std", stds[idx])
+			sp.SetFloat("acq_value", av)
+			sp.SetFloat("f_best", fBest)
+			sp.End()
+		}
+		return candidates[idx], nil
+	}
+
 	if exploit && meanIdx >= 0 {
-		return candidates[meanIdx], nil
+		return finish(meanIdx, reasonExploitMean)
 	}
 	if bestIdx < 0 {
 		if meanIdx < 0 {
 			return nil, errors.New("bo: no unevaluated candidates remain")
 		}
-		return candidates[meanIdx], nil
+		return finish(meanIdx, reasonFallbackMean)
 	}
 	if acqVals[bestIdx] <= 0 && meanIdx >= 0 {
-		return candidates[meanIdx], nil
+		return finish(meanIdx, reasonFallbackMean)
 	}
-	return candidates[bestIdx], nil
+	return finish(bestIdx, reasonAcqMax)
+}
+
+// Selection-path labels for SuggestionStats.Reason.
+const (
+	// reasonAcqMax: the acquisition maximizer won (near-tie rule applied).
+	reasonAcqMax = "acq-max"
+	// reasonExploitMean: exploitation mode returned the posterior-mean
+	// maximizer directly.
+	reasonExploitMean = "exploit-mean"
+	// reasonFallbackMean: every candidate had zero acquisition value, so
+	// the best posterior-mean unevaluated point was returned.
+	reasonFallbackMean = "fallback-mean"
+)
+
+// String names the acquisition function for traces and reports.
+func (a Acquisition) String() string {
+	switch a {
+	case AcqEI:
+		return "ei"
+	case AcqUCB:
+		return "ucb"
+	case AcqMean:
+		return "mean"
+	default:
+		return "unknown"
+	}
 }
 
 // argmaxEligible returns the first index maximizing vals among eligible

@@ -8,6 +8,7 @@ import (
 	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
 	"autrascale/internal/gp"
+	"autrascale/internal/trace"
 )
 
 // Algorithm1Config parameterizes RunAlgorithm1 (paper Algorithm 1).
@@ -40,6 +41,9 @@ type Algorithm1Config struct {
 	// (used by Algorithm 2, which replaces bootstrap runs with estimated
 	// samples).
 	SkipBootstrap bool
+	// Tracer records decision spans (per-iteration posterior, EI value,
+	// Eq. 9 margin, termination reason). nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Algorithm1Config) defaults(e *flink.Engine) error {
@@ -116,6 +120,10 @@ type Algorithm1Result struct {
 	// BootstrapRuns counts configurations evaluated during bootstrap.
 	BootstrapRuns int
 	Trials        []Trial
+	// Iters explains each BO iteration: the posterior/acquisition values
+	// that selected the configuration plus its measured outcome — the
+	// raw material for decision reports and trace spans.
+	Iters []IterationReport
 	// Model is the fitted benefit model, ready to be stored in the model
 	// library for later transfer learning.
 	Model *gp.Regressor
@@ -144,7 +152,7 @@ func RunAlgorithm1(e *flink.Engine, base dataflow.ParallelismVector, cfg Algorit
 	if err != nil {
 		return nil, err
 	}
-	opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Xi: cfg.Xi, Seed: cfg.Seed})
+	opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Xi: cfg.Xi, Seed: cfg.Seed, Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +163,17 @@ func RunAlgorithm1(e *flink.Engine, base dataflow.ParallelismVector, cfg Algorit
 	}
 
 	res := &Algorithm1Result{Threshold: scorer.Threshold(cfg.OverAllocationW)}
+
+	sp := cfg.Tracer.StartSpan("core.algorithm1")
+	defer sp.End()
+	if cfg.Tracer.Enabled() {
+		sp.SetFloat("target_rate", cfg.TargetRate)
+		sp.SetFloat("target_latency_ms", cfg.TargetLatencyMS)
+		sp.SetStr("base", base.String())
+		sp.SetFloat("eq9_threshold", res.Threshold)
+		sp.SetInt("seed_obs", len(seedObs))
+		sp.SetBool("skip_bootstrap", cfg.SkipBootstrap)
+	}
 
 	evaluate := func(p dataflow.ParallelismVector, phase TrialPhase) (Trial, error) {
 		if err := e.SetParallelism(p); err != nil {
@@ -220,9 +239,27 @@ func RunAlgorithm1(e *flink.Engine, base dataflow.ParallelismVector, cfg Algorit
 		if terminated(tr) {
 			res.Met = true
 		}
+		it := iterationReport(res.Iterations, tr, res.Threshold, opt, res.Met)
+		res.Iters = append(res.Iters, it)
+		if cfg.Tracer.Enabled() {
+			emitIterationSpan(sp.Child("algorithm1.iteration"), it)
+		}
 	}
 
 	res.Best = selectBest(res.Trials)
+	if cfg.Tracer.Enabled() {
+		reason := "max-iterations"
+		if res.Met {
+			reason = "eq9-met"
+		}
+		sp.SetStr("termination", reason)
+		sp.SetInt("bootstrap_runs", res.BootstrapRuns)
+		sp.SetInt("iterations", res.Iterations)
+		sp.SetStr("best", res.Best.Par.String())
+		sp.SetFloat("best_score", res.Best.Score)
+		sp.SetFloat("eq9_margin", res.Best.Score-res.Threshold)
+		sp.SetBool("latency_met", res.Best.LatencyMet)
+	}
 	// Leave the engine on the selected configuration and expose the
 	// fitted model for the library.
 	if res.Best.Par != nil {
@@ -256,6 +293,47 @@ func selectBest(trials []Trial) Trial {
 		}
 	}
 	return best
+}
+
+// iterationReport assembles the per-iteration explanation from the
+// optimizer's last suggestion stats and the measured trial.
+func iterationReport(iter int, tr Trial, threshold float64, opt *bo.Optimizer, terminated bool) IterationReport {
+	it := IterationReport{
+		Iter:          iter,
+		Par:           tr.Par,
+		Score:         tr.Score,
+		ProcLatencyMS: tr.ProcLatencyMS,
+		LatencyMet:    tr.LatencyMet,
+		Eq9Margin:     tr.Score - threshold,
+		Terminated:    terminated,
+	}
+	if st, ok := opt.LastSuggestion(); ok {
+		it.PosteriorMean = st.Mean
+		it.PosteriorStd = st.Std
+		it.AcqValue = st.AcqValue
+		it.Acquisition = st.Acquisition.String()
+		it.Selection = st.Reason
+	}
+	return it
+}
+
+// emitIterationSpan writes one IterationReport as a child span. Callers
+// guard with Tracer.Enabled() so attribute formatting never runs on the
+// disabled path.
+func emitIterationSpan(sp *trace.ActiveSpan, it IterationReport) {
+	sp.SetInt("iter", it.Iter)
+	sp.SetStr("par", it.Par.String())
+	sp.SetFloat("score", it.Score)
+	sp.SetFloat("eq9_margin", it.Eq9Margin)
+	sp.SetFloat("latency_ms", it.ProcLatencyMS)
+	sp.SetBool("latency_met", it.LatencyMet)
+	sp.SetFloat("posterior_mean", it.PosteriorMean)
+	sp.SetFloat("posterior_std", it.PosteriorStd)
+	sp.SetFloat("acq_value", it.AcqValue)
+	sp.SetStr("acquisition", it.Acquisition)
+	sp.SetStr("selection", it.Selection)
+	sp.SetBool("terminated", it.Terminated)
+	sp.End()
 }
 
 // fitFinalModel fits the benefit model on all real trials (plus seeds) so

@@ -73,6 +73,15 @@ func RunAlgorithm2(e *flink.Engine, base dataflow.ParallelismVector, prev transf
 	}}
 	res := out.Algorithm1Result
 
+	sp := cfg.Tracer.StartSpan("core.algorithm2")
+	defer sp.End()
+	if cfg.Tracer.Enabled() {
+		sp.SetFloat("target_rate", cfg.TargetRate)
+		sp.SetStr("base", base.String())
+		sp.SetFloat("eq9_threshold", res.Threshold)
+		sp.SetInt("n_num", cfg.NNum)
+	}
+
 	var realSamples []transfer.Sample
 
 	runReal := func(p dataflow.ParallelismVector, phase TrialPhase) (Trial, error) {
@@ -109,14 +118,18 @@ func RunAlgorithm2(e *flink.Engine, base dataflow.ParallelismVector, prev transf
 
 	for !res.Met && out.RealRuns < cfg.NNum && res.Iterations < cfg.MaxIterations {
 		// Lines 2–5: fit the residual model on the real samples so far.
+		rsp := sp.Child("algorithm2.residual_fit")
+		rsp.SetInt("real_samples", len(realSamples))
 		rm, err := transfer.FitResidual(prev, realSamples)
+		rsp.SetBool("ok", err == nil)
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
 		// Lines 6–13: estimate the bootstrap set instead of running it.
 		// Exploit mode: the estimated samples make EI's posterior
 		// variance meaningless, so follow the transferred mean surface.
-		opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Xi: cfg.Xi, Seed: cfg.Seed, Exploit: true})
+		opt, err := bo.NewOptimizer(bo.OptimizerConfig{Space: space, Xi: cfg.Xi, Seed: cfg.Seed, Exploit: true, Tracer: cfg.Tracer})
 		if err != nil {
 			return nil, err
 		}
@@ -145,6 +158,11 @@ func RunAlgorithm2(e *flink.Engine, base dataflow.ParallelismVector, prev transf
 		if tr.LatencyMet && tr.Score >= res.Threshold {
 			res.Met = true
 		}
+		it := iterationReport(res.Iterations, tr, res.Threshold, opt, res.Met)
+		res.Iters = append(res.Iters, it)
+		if cfg.Tracer.Enabled() {
+			emitIterationSpan(sp.Child("algorithm2.iteration"), it)
+		}
 	}
 
 	// Lines 17–19: enough real samples — continue with Algorithm 1 on
@@ -158,17 +176,31 @@ func RunAlgorithm2(e *flink.Engine, base dataflow.ParallelismVector, prev transf
 		a1cfg := cfg.Algorithm1Config
 		a1cfg.SkipBootstrap = true
 		a1cfg.MaxIterations = cfg.MaxIterations - res.Iterations
+		preIters := res.Iterations
 		a1res, err := RunAlgorithm1(e, base, a1cfg, seeds...)
 		if err != nil {
 			return nil, err
 		}
 		res.Trials = append(res.Trials, a1res.Trials...)
+		for _, it := range a1res.Iters {
+			it.Iter += preIters
+			res.Iters = append(res.Iters, it)
+		}
 		res.Iterations += a1res.Iterations
 		out.RealRuns += a1res.Iterations
 		res.Met = a1res.Met
 	}
 
 	res.Best = selectBest(res.Trials)
+	if cfg.Tracer.Enabled() {
+		sp.SetInt("real_runs", out.RealRuns)
+		sp.SetInt("estimated_samples", out.EstimatedSamples)
+		sp.SetBool("switched_to_a1", out.SwitchedToA1)
+		sp.SetBool("met", res.Met)
+		sp.SetStr("best", res.Best.Par.String())
+		sp.SetFloat("best_score", res.Best.Score)
+		sp.SetFloat("eq9_margin", res.Best.Score-res.Threshold)
+	}
 	if res.Best.Par != nil {
 		if err := e.SetParallelism(res.Best.Par); err != nil {
 			return nil, err

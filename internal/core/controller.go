@@ -7,7 +7,9 @@ import (
 
 	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
+	"autrascale/internal/metrics"
 	"autrascale/internal/stat"
+	"autrascale/internal/trace"
 	"autrascale/internal/transfer"
 )
 
@@ -40,6 +42,12 @@ type ControllerConfig struct {
 	// change can then transfer immediately instead of learning from
 	// scratch.
 	Library *transfer.ModelLibrary
+	// Tracer records MAPE/BO/transfer decision spans; it is threaded
+	// through every algorithm the controller invokes. nil disables
+	// tracing at zero cost.
+	Tracer *trace.Tracer
+	// DecisionHistory bounds the retained DecisionReports (default 128).
+	DecisionHistory int
 }
 
 func (c *ControllerConfig) defaults() error {
@@ -54,6 +62,9 @@ func (c *ControllerConfig) defaults() error {
 	}
 	if c.RateChangeFraction <= 0 {
 		c.RateChangeFraction = 0.1
+	}
+	if c.DecisionHistory <= 0 {
+		c.DecisionHistory = 128
 	}
 	return nil
 }
@@ -86,11 +97,13 @@ type Controller struct {
 	engine  *flink.Engine
 	cfg     ControllerConfig
 	library *transfer.ModelLibrary
+	tracer  *trace.Tracer
 
 	curRate  float64
 	rateEWMA *stat.EWMA
 	base     dataflow.ParallelismVector
 	events   []Event
+	reports  []DecisionReport
 }
 
 // NewController builds a controller for the engine.
@@ -109,6 +122,7 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 		engine:  e,
 		cfg:     cfg,
 		library: lib,
+		tracer:  cfg.Tracer,
 		// Smooth the observed input rate (half-life one policy window) so the
 		// controller re-plans on sustained shifts, not window jitter.
 		rateEWMA: stat.NewEWMA(stat.HalfLifeAlpha(1)),
@@ -121,13 +135,81 @@ func (c *Controller) Library() *transfer.ModelLibrary { return c.library }
 // Events returns the decision log.
 func (c *Controller) Events() []Event { return append([]Event(nil), c.events...) }
 
+// Decisions returns the retained decision reports, oldest first (bounded
+// by ControllerConfig.DecisionHistory).
+func (c *Controller) Decisions() []DecisionReport {
+	return append([]DecisionReport(nil), c.reports...)
+}
+
+// Instrument bucket layouts for the controller's decision-quality
+// histograms (exposed through the engine's metrics store).
+var (
+	boIterationBuckets = []float64{1, 2, 3, 5, 8, 12, 15, 20, 25}
+	marginBuckets      = []float64{-0.2, -0.1, -0.05, 0, 0.02, 0.05, 0.1, 0.2}
+)
+
+// pushReport retains the report and feeds the decision-quality
+// instruments (counter per action, BO-iteration and Eq. 9-margin
+// histograms) when the engine has a metrics store.
+func (c *Controller) pushReport(r DecisionReport) {
+	c.reports = append(c.reports, r)
+	if over := len(c.reports) - c.cfg.DecisionHistory; over > 0 {
+		n := copy(c.reports, c.reports[over:])
+		c.reports = c.reports[:n]
+	}
+	st := c.engine.Store()
+	if st == nil {
+		return
+	}
+	job := c.engine.JobName()
+	st.Counter("autrascale.decisions", map[string]string{"job": job, "action": string(r.Action)}).Inc()
+	st.Histogram("autrascale.bo.iterations", map[string]string{"job": job}, boIterationBuckets).
+		Observe(float64(r.Iterations))
+	st.Histogram("autrascale.decision.margin", map[string]string{"job": job}, marginBuckets).
+		Observe(r.Margin)
+	if r.Action == ActionAlgorithm2 {
+		st.Counter("autrascale.transfers", map[string]string{"job": job}).Inc()
+	}
+}
+
+// recordStepMetrics tracks per-step QoS outcomes (latency target hit or
+// miss) so scrape-side alerting does not need to parse events.
+func (c *Controller) recordStepMetrics(m flink.Measurement) {
+	st := c.engine.Store()
+	if st == nil {
+		return
+	}
+	job := c.engine.JobName()
+	st.Counter("autrascale.steps", map[string]string{"job": job}).Inc()
+	if m.ProcLatencyMS > c.cfg.TargetLatencyMS {
+		st.Counter("autrascale.latency.violations", map[string]string{"job": job}).Inc()
+	}
+}
+
+// Store exposes the engine's metrics store (nil when the engine records
+// no metrics) — the scrape surface for the instruments above.
+func (c *Controller) Store() *metrics.Store { return c.engine.Store() }
+
 // Base returns the current throughput-optimal configuration k'.
 func (c *Controller) Base() dataflow.ParallelismVector { return c.base.Clone() }
 
 // Step performs one MAPE pass: observe a policy window, decide, act.
 func (c *Controller) Step() (Event, error) {
 	e := c.engine
+	sp := c.tracer.StartSpan("mape.step")
+	defer sp.End()
+	// Monitor: observe one policy window.
+	msp := sp.Child("mape.monitor")
 	m := e.RunAndMeasure(0, c.cfg.PolicyIntervalSec)
+	if c.tracer.Enabled() {
+		msp.SetFloat("t_sec", e.Now())
+		msp.SetFloat("window_sec", m.WindowSec)
+		msp.SetFloat("rate_rps", m.InputRateRPS)
+		msp.SetFloat("latency_ms", m.ProcLatencyMS)
+		msp.SetFloat("throughput_rps", m.ThroughputRPS)
+		msp.SetFloat("lag_records", m.LagRecords)
+	}
+	msp.End()
 	ev := Event{
 		TimeSec:       e.Now(),
 		RateRPS:       m.InputRateRPS,
@@ -136,17 +218,25 @@ func (c *Controller) Step() (Event, error) {
 		ThroughputRPS: m.ThroughputRPS,
 		Action:        ActionNone,
 	}
+	c.recordStepMetrics(m)
 
-	// Detect sustained rate shifts on the smoothed signal, but plan for
-	// the currently measured rate.
+	// Analyze: detect sustained rate shifts on the smoothed signal, but
+	// plan for the currently measured rate.
 	smoothed := c.rateEWMA.Observe(m.InputRateRPS)
 	rate := m.InputRateRPS
 	rateChanged := c.curRate == 0 ||
 		math.Abs(smoothed-c.curRate) > c.cfg.RateChangeFraction*c.curRate
+	if c.tracer.Enabled() {
+		sp.SetFloat("t_sec", ev.TimeSec)
+		sp.SetFloat("rate_rps", rate)
+		sp.SetFloat("smoothed_rps", smoothed)
+		sp.SetBool("rate_changed", rateChanged)
+		sp.SetBool("qos_ok", c.qosOK(m))
+	}
 
 	switch {
 	case rateChanged:
-		if err := c.replan(rate, &ev); err != nil {
+		if err := c.replan(rate, &ev, sp); err != nil {
 			return ev, err
 		}
 		c.rateEWMA.Reset()
@@ -162,14 +252,24 @@ func (c *Controller) Step() (Event, error) {
 		ev.Action = ActionAlgorithm1
 		ev.Reason = fmt.Sprintf("QoS out of range (latency %.0fms, throughput %.0f rps)",
 			m.ProcLatencyMS, m.ThroughputRPS)
+		rep := DecisionReport{TimeSec: ev.TimeSec, Action: ev.Action, Reason: ev.Reason, RateRPS: rate}
 		a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate))
 		if err != nil {
 			return ev, err
 		}
 		c.storeModel(rate, a1.Model)
 		ev.Par = a1.Best.Par.Clone()
+		rep.FillFromAlgorithm1(a1)
+		c.pushReport(rep)
 		e.Run(30)
 		e.SeekToLatest()
+	}
+	if c.tracer.Enabled() {
+		sp.SetStr("action", string(ev.Action))
+		if ev.Reason != "" {
+			sp.SetStr("reason", ev.Reason)
+		}
+		sp.SetStr("par", ev.Par.String())
 	}
 
 	c.events = append(c.events, ev)
@@ -177,24 +277,43 @@ func (c *Controller) Step() (Event, error) {
 }
 
 // replan reacts to an input-rate change: re-optimize throughput, then run
-// Algorithm 2 when a previous model exists (else Algorithm 1).
-func (c *Controller) replan(rate float64, ev *Event) error {
+// Algorithm 2 when a previous model exists (else Algorithm 1). parent is
+// the enclosing mape.step span (nil when tracing is off).
+func (c *Controller) replan(rate float64, ev *Event, parent *trace.ActiveSpan) error {
 	e := c.engine
+	sp := parent.Child("mape.plan")
+	defer sp.End()
+	rep := DecisionReport{TimeSec: ev.TimeSec, RateRPS: rate}
 	tr, err := OptimizeThroughput(e, ThroughputOptions{
 		TargetRate: rate,
 		WarmupSec:  c.cfg.PolicyIntervalSec / 2,
 		MeasureSec: c.cfg.PolicyRunningSec,
+		Tracer:     c.tracer,
 	})
 	if err != nil {
 		return err
 	}
 	c.base = tr.Base
+	rep.Base = tr.Base.Clone()
+	rep.ThroughputIters = tr.Iterations
+	rep.ReachedTarget = tr.ReachedTarget
+	rep.TerminatedByRepeat = tr.TerminatedByRepeat
 
 	prev, havePrev := c.library.Nearest(rate)
 	if havePrev {
 		ev.Action = ActionAlgorithm2
 		ev.Reason = fmt.Sprintf("rate changed to %.0f rps; transferring from model at %.0f rps",
 			rate, prev.RateRPS)
+		rep.TransferSourceRate = prev.RateRPS
+		rep.TransferDistance = math.Abs(rate - prev.RateRPS)
+		rep.LibraryRates = c.library.Rates()
+		if c.tracer.Enabled() {
+			// Algorithm 2's model selection: the candidates considered and
+			// the nearest-rate pick.
+			sp.SetFloat("transfer_source_rate", prev.RateRPS)
+			sp.SetFloat("transfer_distance", rep.TransferDistance)
+			sp.SetInt("library_models", c.library.Len())
+		}
 		a2, err := RunAlgorithm2(e, c.base, prev.Model, Algorithm2Config{
 			Algorithm1Config: c.algorithm1Config(rate),
 		})
@@ -203,6 +322,10 @@ func (c *Controller) replan(rate float64, ev *Event) error {
 		}
 		c.storeModel(rate, a2.Model)
 		ev.Par = a2.Best.Par.Clone()
+		rep.FillFromAlgorithm1(a2.Algorithm1Result)
+		rep.RealRuns = a2.RealRuns
+		rep.EstimatedSamples = a2.EstimatedSamples
+		rep.SwitchedToA1 = a2.SwitchedToA1
 	} else {
 		ev.Action = ActionAlgorithm1
 		ev.Reason = fmt.Sprintf("rate changed to %.0f rps; no prior model", rate)
@@ -212,7 +335,10 @@ func (c *Controller) replan(rate float64, ev *Event) error {
 		}
 		c.storeModel(rate, a1.Model)
 		ev.Par = a1.Best.Par.Clone()
+		rep.FillFromAlgorithm1(a1)
 	}
+	rep.Action, rep.Reason = ev.Action, ev.Reason
+	c.pushReport(rep)
 	c.curRate = rate
 	return nil
 }
@@ -229,6 +355,7 @@ func (c *Controller) algorithm1Config(rate float64) Algorithm1Config {
 		WarmupSec:       c.cfg.PolicyIntervalSec / 2,
 		MeasureSec:      c.cfg.PolicyRunningSec,
 		Seed:            c.cfg.Seed,
+		Tracer:          c.tracer,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
+	"autrascale/internal/trace"
 )
 
 // ThroughputOptions controls OptimizeThroughput.
@@ -30,6 +31,9 @@ type ThroughputOptions struct {
 	// WarmupSec/MeasureSec define the policy-running window per
 	// iteration (defaults 30/120 simulated seconds).
 	WarmupSec, MeasureSec float64
+	// Tracer records one span per Eq. 3 iteration plus the history
+	// review outcome. nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (o *ThroughputOptions) defaults(e *flink.Engine) error {
@@ -90,6 +94,11 @@ func OptimizeThroughput(e *flink.Engine, opts ThroughputOptions) (ThroughputResu
 		return res, err
 	}
 	g := e.Graph()
+	sp := opts.Tracer.StartSpan("core.throughput_opt")
+	defer sp.End()
+	if opts.Tracer.Enabled() {
+		sp.SetFloat("target_rate", opts.TargetRate)
+	}
 	m := e.MeasureSteady(opts.WarmupSec, opts.MeasureSec)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		res.Iterations = iter + 1
@@ -102,6 +111,16 @@ func OptimizeThroughput(e *flink.Engine, opts ThroughputOptions) (ThroughputResu
 		next, err := eq3Step(g, m, opts.TargetRate, opts.PMax)
 		if err != nil {
 			return res, err
+		}
+		if opts.Tracer.Enabled() {
+			it := sp.Child("throughput.eq3_iteration")
+			it.SetInt("iter", res.Iterations)
+			it.SetStr("par", m.Par.String())
+			it.SetFloat("throughput_rps", m.ThroughputRPS)
+			it.SetFloat("latency_ms", m.ProcLatencyMS)
+			it.SetBool("throughput_met", thrMet)
+			it.SetStr("eq3_next", next.String())
+			it.End()
 		}
 		if thrMet && next.Total() >= m.Par.Total() {
 			// Throughput sustained and Eq. 3 does not prescribe anything
@@ -124,6 +143,15 @@ func OptimizeThroughput(e *flink.Engine, opts ThroughputOptions) (ThroughputResu
 		m = e.MeasureSteady(opts.WarmupSec, opts.MeasureSec)
 	}
 	res.Base, res.BestThroughputRPS = reviewHistory(res.History)
+	if opts.Tracer.Enabled() {
+		// The history review is the paper's "why this k'": maximum
+		// throughput, near-ties broken toward fewer slots.
+		sp.SetStr("base", res.Base.String())
+		sp.SetFloat("best_throughput_rps", res.BestThroughputRPS)
+		sp.SetInt("iterations", res.Iterations)
+		sp.SetBool("reached_target", res.ReachedTarget)
+		sp.SetBool("terminated_by_repeat", res.TerminatedByRepeat)
+	}
 	// Leave the engine on the selected configuration.
 	if err := e.SetParallelism(res.Base); err != nil {
 		return res, err

@@ -44,6 +44,7 @@ import (
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
 	"autrascale/internal/stat"
+	"autrascale/internal/trace"
 )
 
 // Config configures an Engine.
@@ -70,6 +71,9 @@ type Config struct {
 	NoNoise bool
 	// InitialParallelism is the starting configuration (default all 1).
 	InitialParallelism dataflow.ParallelismVector
+	// Tracer records rescale actions and measurement windows; nil
+	// disables tracing. Per-tick work is never traced.
+	Tracer *trace.Tracer
 }
 
 // Engine is the simulator instance for one job.
@@ -78,6 +82,7 @@ type Engine struct {
 	cluster *cluster.Cluster
 	topic   *kafka.Topic
 	store   *metrics.Store
+	tracer  *trace.Tracer
 	jobName string
 	rng     *stat.RNG
 
@@ -186,6 +191,7 @@ func New(cfg Config) (*Engine, error) {
 		cluster:     cfg.Cluster,
 		topic:       cfg.Topic,
 		store:       cfg.Store,
+		tracer:      cfg.Tracer,
 		jobName:     name,
 		rng:         stat.NewRNG(cfg.Seed ^ 0x9d5c_1fd3_0b77_4c2b),
 		tickSec:     tick,
@@ -227,6 +233,13 @@ func (e *Engine) Topic() *kafka.Topic { return e.topic }
 // JobName returns the metric tag for this job.
 func (e *Engine) JobName() string { return e.jobName }
 
+// Store returns the metrics store the engine records into (nil when
+// metrics are disabled).
+func (e *Engine) Store() *metrics.Store { return e.store }
+
+// Tracer returns the engine's tracer (nil when tracing is disabled).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.nowSec }
 
@@ -249,6 +262,18 @@ func (e *Engine) SetParallelism(p dataflow.ParallelismVector) error {
 	}
 	if p.Equal(e.par) {
 		return nil
+	}
+	if e.tracer.Enabled() {
+		sp := e.tracer.StartSpan("flink.rescale")
+		sp.SetFloat("t_sec", e.nowSec)
+		sp.SetStr("from", e.par.String())
+		sp.SetStr("to", p.String())
+		sp.SetInt("slots_delta", p.Total()-e.par.Total())
+		sp.SetFloat("downtime_sec", e.downtimeSec)
+		sp.End()
+	}
+	if e.store != nil {
+		e.store.Counter("flink.rescales", map[string]string{"job": e.jobName}).Inc()
 	}
 	e.par = p.Clone()
 	e.restartUntil = e.nowSec + e.downtimeSec
@@ -559,6 +584,7 @@ func (e *Engine) FailMachine(name string) error {
 	if err := e.cluster.SetMachineDown(name, true); err != nil {
 		return err
 	}
+	e.traceMachineEvent("flink.machine_fail", name)
 	e.restartUntil = e.nowSec + e.downtimeSec
 	e.restarts++
 	e.resetWindow()
@@ -571,10 +597,23 @@ func (e *Engine) RecoverMachine(name string) error {
 	if err := e.cluster.SetMachineDown(name, false); err != nil {
 		return err
 	}
+	e.traceMachineEvent("flink.machine_recover", name)
 	e.restartUntil = e.nowSec + e.downtimeSec
 	e.restarts++
 	e.resetWindow()
 	return nil
+}
+
+// traceMachineEvent records a machine up/down transition.
+func (e *Engine) traceMachineEvent(name, machine string) {
+	if !e.tracer.Enabled() {
+		return
+	}
+	sp := e.tracer.StartSpan(name)
+	sp.SetFloat("t_sec", e.nowSec)
+	sp.SetStr("machine", machine)
+	sp.SetInt("max_parallelism", e.cluster.MaxParallelism())
+	sp.End()
 }
 
 // SeekToLatest drops the source backlog (consumer jumps to the log head)
@@ -592,7 +631,9 @@ func (e *Engine) RunAndMeasure(warmupSec, measureSec float64) Measurement {
 	e.Run(warmupSec)
 	e.resetWindow()
 	e.Run(measureSec)
-	return e.Measure()
+	m := e.Measure()
+	e.traceWindow("flink.measure_window", warmupSec, measureSec, m)
+	return m
 }
 
 // MeasureSteady evaluates the *steady-state* QoS of the current
@@ -606,5 +647,23 @@ func (e *Engine) MeasureSteady(warmupSec, measureSec float64) Measurement {
 	e.SeekToLatest()
 	e.resetWindow()
 	e.Run(measureSec)
-	return e.Measure()
+	m := e.Measure()
+	e.traceWindow("flink.measure_steady", warmupSec, measureSec, m)
+	return m
+}
+
+// traceWindow records a completed measurement window as a span.
+func (e *Engine) traceWindow(name string, warmupSec, measureSec float64, m Measurement) {
+	if !e.tracer.Enabled() {
+		return
+	}
+	sp := e.tracer.StartSpan(name)
+	sp.SetFloat("t_sec", e.nowSec)
+	sp.SetStr("par", m.Par.String())
+	sp.SetFloat("warmup_sec", warmupSec)
+	sp.SetFloat("measure_sec", measureSec)
+	sp.SetFloat("throughput_rps", m.ThroughputRPS)
+	sp.SetFloat("latency_ms", m.ProcLatencyMS)
+	sp.SetFloat("lag_records", m.LagRecords)
+	sp.End()
 }

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func opTags(job, op string) map[string]string {
+	return map[string]string{"job": job, "operator": op}
+}
+
+// seedAggregatorStore writes two instances of operator "Count" and one of
+// "Source" for job "wc", plus a job-level latency series.
+func seedAggregatorStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	for i, vals := range [][]float64{{10, 20}, {30, 40}} {
+		tags := map[string]string{"job": "wc", "operator": "Count", "instance": string(rune('a' + i))}
+		for j, v := range vals {
+			s.MustRecord(MetricTrueProcessingRate, tags, float64(j), v)
+		}
+	}
+	s.MustRecord(MetricTrueProcessingRate, opTags("wc", "Source"), 0, 100)
+	s.MustRecord(MetricLatencyMS, map[string]string{"job": "wc"}, 0, 50)
+	s.MustRecord(MetricLatencyMS, map[string]string{"job": "wc"}, 1, 70)
+	return s
+}
+
+func TestOperatorTotalEmptyWindow(t *testing.T) {
+	a := NewAggregator(seedAggregatorStore(t))
+	// Window entirely after the data: every instance contributes nothing.
+	if got := a.OperatorTotal(MetricTrueProcessingRate, "wc", "Count", 100, 200); got != 0 {
+		t.Fatalf("empty window total = %g, want 0", got)
+	}
+	mean, n := a.OperatorMean(MetricTrueProcessingRate, "wc", "Count", 100, 200)
+	if mean != 0 || n != 0 {
+		t.Fatalf("empty window mean = (%g, %d), want (0, 0)", mean, n)
+	}
+}
+
+func TestOperatorTotalMissingSeries(t *testing.T) {
+	a := NewAggregator(seedAggregatorStore(t))
+	if got := a.OperatorTotal(MetricTrueProcessingRate, "wc", "NoSuchOp", 0, 10); got != 0 {
+		t.Fatalf("missing operator total = %g, want 0", got)
+	}
+	if got := a.OperatorTotal("no.such.metric", "wc", "Count", 0, 10); got != 0 {
+		t.Fatalf("missing metric total = %g, want 0", got)
+	}
+	if got := a.OperatorTotal(MetricTrueProcessingRate, "nojob", "Count", 0, 10); got != 0 {
+		t.Fatalf("missing job total = %g, want 0", got)
+	}
+	mean, n := a.OperatorMean(MetricTrueProcessingRate, "wc", "NoSuchOp", 0, 10)
+	if mean != 0 || n != 0 {
+		t.Fatalf("missing series mean = (%g, %d), want (0, 0)", mean, n)
+	}
+}
+
+func TestOperatorAggregatesAcrossInstances(t *testing.T) {
+	a := NewAggregator(seedAggregatorStore(t))
+	// Instance means over [0,1]: 15 and 35; total 50, mean 25 across 2.
+	if got := a.OperatorTotal(MetricTrueProcessingRate, "wc", "Count", 0, 1); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("total = %g, want 50", got)
+	}
+	mean, n := a.OperatorMean(MetricTrueProcessingRate, "wc", "Count", 0, 1)
+	if math.Abs(mean-25) > 1e-12 || n != 2 {
+		t.Fatalf("mean = (%g, %d), want (25, 2)", mean, n)
+	}
+	// A half-open window covering only t=1 drops the t=0 samples.
+	if got := a.OperatorTotal(MetricTrueProcessingRate, "wc", "Count", 1, 1); math.Abs(got-60) > 1e-12 {
+		t.Fatalf("point-window total = %g, want 60", got)
+	}
+}
+
+func TestJobMeanAndLatest(t *testing.T) {
+	a := NewAggregator(seedAggregatorStore(t))
+	mean, n := a.JobMean(MetricLatencyMS, "wc", 0, 1)
+	if math.Abs(mean-60) > 1e-12 || n != 2 {
+		t.Fatalf("job mean = (%g, %d), want (60, 2)", mean, n)
+	}
+	mean, n = a.JobMean(MetricLatencyMS, "nojob", 0, 1)
+	if mean != 0 || n != 0 {
+		t.Fatalf("missing-job mean = (%g, %d), want (0, 0)", mean, n)
+	}
+	p, ok := a.JobLatest(MetricLatencyMS, "wc")
+	if !ok || p.Value != 70 || p.TimeSec != 1 {
+		t.Fatalf("JobLatest = (%+v, %v), want value 70 at t=1", p, ok)
+	}
+	if _, ok := a.JobLatest(MetricLatencyMS, "nojob"); ok {
+		t.Fatal("JobLatest found a sample for a missing job")
+	}
+}
+
+// JobLatest must match only the exact job-level series (tagged job=...,
+// no operator tag): per-operator series of several operators for the
+// same metric name must not shadow it.
+func TestJobLatestWithMultipleOperatorSeries(t *testing.T) {
+	s := NewStore()
+	// Per-operator series for the same metric name, multiple operators.
+	s.MustRecord(MetricInputRate, opTags("wc", "Source"), 5, 111)
+	s.MustRecord(MetricInputRate, opTags("wc", "Count"), 6, 222)
+	s.MustRecord(MetricInputRate, opTags("wc", "Sink"), 7, 333)
+	a := NewAggregator(s)
+
+	// No job-level series exists yet: JobLatest must not pick an
+	// operator-tagged one.
+	if p, ok := a.JobLatest(MetricInputRate, "wc"); ok {
+		t.Fatalf("JobLatest matched an operator series: %+v", p)
+	}
+
+	// Once the job-level series exists, it wins regardless of newer
+	// operator samples.
+	s.MustRecord(MetricInputRate, map[string]string{"job": "wc"}, 8, 999)
+	s.MustRecord(MetricInputRate, opTags("wc", "Count"), 9, 444)
+	p, ok := a.JobLatest(MetricInputRate, "wc")
+	if !ok || p.Value != 999 {
+		t.Fatalf("JobLatest = (%+v, %v), want the job-level 999", p, ok)
+	}
+}

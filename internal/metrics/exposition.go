@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -46,7 +47,61 @@ func (s *Store) WriteExposition(w io.Writer) error {
 			return err
 		}
 	}
+	return s.writeInstruments(w)
+}
+
+// writeInstruments renders registered counters (as `name_total`) and
+// histograms (Prometheus `name_bucket{le=...}` / `_sum` / `_count`
+// triplets) after the series gauges.
+func (s *Store) writeInstruments(w io.Writer) error {
+	s.instMu.Lock()
+	counterKeys := sortedInstrumentKeys(s.counters)
+	counters := make([]*Counter, len(counterKeys))
+	for i, k := range counterKeys {
+		counters[i] = s.counters[k]
+	}
+	histKeys := sortedInstrumentKeys(s.histograms)
+	hists := make([]*Histogram, len(histKeys))
+	for i, k := range histKeys {
+		hists[i] = s.histograms[k]
+	}
+	s.instMu.Unlock()
+
+	for i, k := range counterKeys {
+		if _, err := fmt.Fprintf(w, "%s_total%s %g\n",
+			sanitizeMetricName(k.Name), formatLabels(k.Tags), counters[i].Value()); err != nil {
+			return err
+		}
+	}
+	for i, k := range histKeys {
+		snap := hists[i].Snapshot()
+		name := sanitizeMetricName(k.Name)
+		for j, bound := range snap.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, formatLabelsExtra(k.Tags, "le", formatBound(bound)),
+				snap.CumulativeCounts[j]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, formatLabelsExtra(k.Tags, "le", "+Inf"),
+			snap.CumulativeCounts[len(snap.CumulativeCounts)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, formatLabels(k.Tags), snap.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(k.Tags), snap.Count); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// formatBound renders a bucket upper bound the way Prometheus does
+// (plain decimal, no exponent for the usual magnitudes).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 // sanitizeMetricName maps a dotted metric path onto the Prometheus
@@ -88,4 +143,15 @@ func formatLabels(encoded string) string {
 		return ""
 	}
 	return "{" + strings.Join(labels, ",") + "}"
+}
+
+// formatLabelsExtra renders the tag labels plus one extra pair (used for
+// histogram `le` labels, which are not part of the canonical tag set).
+func formatLabelsExtra(encoded, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	base := formatLabels(encoded)
+	if base == "" {
+		return "{" + extra + "}"
+	}
+	return base[:len(base)-1] + "," + extra + "}"
 }

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The store's series are gauge-style time series (every sample kept).
+// Controllers also need cheap *instruments*: monotonically increasing
+// counters (how many rescales, how many replans) and bucketed
+// histograms (BO iteration counts, decision margins, step durations)
+// whose cost does not grow with run length. Counters and histograms are
+// registered on the Store so WriteExposition renders everything —
+// series, counters, buckets — through one endpoint.
+
+// Counter is a monotonically increasing count. Safe for concurrent use;
+// Inc/Add are lock-free.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by delta (negative deltas are ignored —
+// counters only go up).
+func (c *Counter) Add(delta float64) {
+	if delta <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket i counts observations <= Buckets[i], plus an
+// implicit +Inf bucket).
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+// newHistogram copies and sorts the bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+// CumulativeCounts[i] counts observations <= Bounds[i]; the final entry
+// (the +Inf bucket) equals Count.
+type HistogramSnapshot struct {
+	Bounds           []float64
+	CumulativeCounts []uint64
+	Sum              float64
+	Count            uint64
+}
+
+// Snapshot returns the cumulative view WriteExposition renders.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{
+		Bounds:           append([]float64(nil), h.bounds...),
+		CumulativeCounts: make([]uint64, len(h.counts)),
+		Sum:              h.sum,
+		Count:            h.samples,
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		snap.CumulativeCounts[i] = cum
+	}
+	return snap
+}
+
+// instrumentKey identifies a counter or histogram: name + canonical tags.
+type instrumentKey struct {
+	Name string
+	Tags string
+}
+
+// Counter returns (creating on first use) the counter with the given
+// name and tags.
+func (s *Store) Counter(name string, tags map[string]string) *Counter {
+	key := instrumentKey{Name: name, Tags: EncodeTags(tags)}
+	s.instMu.Lock()
+	defer s.instMu.Unlock()
+	if s.counters == nil {
+		s.counters = map[instrumentKey]*Counter{}
+	}
+	c, ok := s.counters[key]
+	if !ok {
+		c = &Counter{}
+		s.counters[key] = c
+	}
+	return c
+}
+
+// Histogram returns (creating on first use) the histogram with the
+// given name, tags, and bucket upper bounds. Bounds are fixed at
+// creation; later calls with different bounds reuse the existing
+// instrument unchanged.
+func (s *Store) Histogram(name string, tags map[string]string, bounds []float64) *Histogram {
+	key := instrumentKey{Name: name, Tags: EncodeTags(tags)}
+	s.instMu.Lock()
+	defer s.instMu.Unlock()
+	if s.histograms == nil {
+		s.histograms = map[instrumentKey]*Histogram{}
+	}
+	h, ok := s.histograms[key]
+	if !ok {
+		h = newHistogram(bounds)
+		s.histograms[key] = h
+	}
+	return h
+}
+
+// instrumentKeys returns the sorted keys of m (counters or histograms).
+func sortedInstrumentKeys[V any](m map[instrumentKey]V) []instrumentKey {
+	keys := make([]instrumentKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Tags < keys[j].Tags
+	})
+	return keys
+}

@@ -43,10 +43,16 @@ func EncodeTags(tags map[string]string) string {
 	return strings.Join(parts, ",")
 }
 
-// Store is a concurrency-safe time-series database.
+// Store is a concurrency-safe time-series database. Besides gauge-style
+// series it registers counter/histogram instruments (see instruments.go)
+// so one exposition pass covers both.
 type Store struct {
 	mu     sync.RWMutex
 	series map[SeriesKey][]Point
+
+	instMu     sync.Mutex
+	counters   map[instrumentKey]*Counter
+	histograms map[instrumentKey]*Histogram
 }
 
 // NewStore returns an empty store.
@@ -190,11 +196,15 @@ func (s *Store) Len() int {
 	return len(s.series)
 }
 
-// Clear drops all series.
+// Clear drops all series and instruments.
 func (s *Store) Clear() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.series = map[SeriesKey][]Point{}
+	s.mu.Unlock()
+	s.instMu.Lock()
+	s.counters = nil
+	s.histograms = nil
+	s.instMu.Unlock()
 }
 
 // Canonical metric names (Flink-style paths as exposed in the paper §V-E).

@@ -26,6 +26,7 @@ import (
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
+	"autrascale/internal/trace"
 )
 
 // Spec describes a benchmark workload.
@@ -239,6 +240,8 @@ type EngineOptions struct {
 	NoNoise bool
 	// Cluster overrides the paper testbed.
 	Cluster *cluster.Cluster
+	// Tracer records rescale and measurement spans (optional).
+	Tracer *trace.Tracer
 }
 
 // NewEngine assembles a simulator for the workload on the paper's
@@ -264,5 +267,6 @@ func NewEngine(spec Spec, opts EngineOptions) (*flink.Engine, error) {
 		Seed:               opts.Seed,
 		NoNoise:            opts.NoNoise,
 		InitialParallelism: opts.InitialParallelism,
+		Tracer:             opts.Tracer,
 	})
 }
