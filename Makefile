@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp check experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp chaos check experiments summary fmt vet clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/
 
 cover:
 	$(GO) test -cover ./...
@@ -33,9 +33,25 @@ benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
 
-# The full pre-merge gate: static checks, unit tests, the race detector
-# on the concurrency-bearing packages, and the benchmark baseline.
-check: vet test race benchcmp
+# Chaos gate: the fault-injection, property/metamorphic, and golden-trace
+# layers (docs/chaos.md), then a short controller soak under the heavy
+# fault profile across a fixed seed matrix — every seed is printed, so a
+# failing soak is reproduced by re-running examples/chaos_soak with it.
+CHAOS_SEEDS = 1 7 42
+chaos:
+	$(GO) test ./internal/chaos/
+	$(GO) test -run 'Chaos|Rescale|Stall|WindowDrop|MachineKill' ./internal/flink/ ./internal/core/
+	$(GO) test -run 'Property|Metamorphic|Golden|Threshold' ./internal/mat/ ./internal/gp/ ./internal/core/ ./internal/bo/
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos soak: heavy profile, seed $$seed =="; \
+		$(GO) run ./examples/chaos_soak -profile heavy -hours 1 -seed $$seed | tail -n 5 || exit 1; \
+	done
+
+# The full pre-merge gate: static checks, unit tests (which include the
+# chaos, property, metamorphic, and golden layers), the race detector on
+# the concurrency-bearing packages, the benchmark baseline, and the
+# seeded chaos soak matrix.
+check: vet test race benchcmp chaos
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

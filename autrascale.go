@@ -41,6 +41,7 @@ import (
 	"autrascale/internal/baselines/drs"
 	"autrascale/internal/baselines/ds2"
 	"autrascale/internal/bo"
+	"autrascale/internal/chaos"
 	"autrascale/internal/cluster"
 	"autrascale/internal/core"
 	"autrascale/internal/dataflow"
@@ -139,6 +140,30 @@ func NewCustomEngine(cfg EngineConfig) (*Engine, error) { return flink.New(cfg) 
 
 // NewMetricsStore returns an empty time-series store.
 func NewMetricsStore() *MetricsStore { return metrics.NewStore() }
+
+// ---- Fault injection (internal/chaos) ----
+
+type (
+	// ChaosInjector makes seeded, reproducible fault decisions.
+	ChaosInjector = chaos.Injector
+	// ChaosProfile describes which faults to inject and how hard.
+	ChaosProfile = chaos.Profile
+	// MachineEvent schedules a machine kill or recovery.
+	MachineEvent = chaos.MachineEvent
+	// StallWindow stalls a fraction of source partitions for a period.
+	StallWindow = chaos.StallWindow
+)
+
+// NewChaosInjector builds a fault injector reproducible from seed.
+func NewChaosInjector(profile ChaosProfile, seed uint64) *ChaosInjector {
+	return chaos.New(profile, seed)
+}
+
+// ChaosProfileByName resolves "none", "light" or "heavy".
+func ChaosProfileByName(name string) (ChaosProfile, error) { return chaos.ByName(name) }
+
+// ErrRescaleFailed marks a rescale that exhausted its retry budget.
+var ErrRescaleFailed = flink.ErrRescaleFailed
 
 // ---- Workloads (internal/workloads) ----
 

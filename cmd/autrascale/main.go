@@ -4,7 +4,7 @@
 // Usage:
 //
 //	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
-//	           [-seed N] [-mode controller|once] [-explain]
+//	           [-seed N] [-mode controller|once] [-explain] [-chaos profile]
 //
 // Modes:
 //
@@ -12,6 +12,12 @@
 //	            and print the recommended configuration (default)
 //	controller  run the full MAPE loop for -duration simulated seconds,
 //	            printing every decision event
+//
+// With -chaos (none, light, heavy) a seeded fault injector fails and
+// delays rescales, drops/corrupts measurement windows, kills machines
+// and stalls partitions on the named profile's schedule; the run is
+// reproducible from -seed (see docs/chaos.md). Retry and degradation
+// counters are printed at the end.
 //
 // With -explain, every decision is followed by a "why this
 // configuration" report: the Eq. 3 base, each BO iteration's posterior
@@ -24,9 +30,11 @@ import (
 	"fmt"
 	"os"
 
+	"autrascale/internal/chaos"
 	"autrascale/internal/core"
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
+	"autrascale/internal/metrics"
 	"autrascale/internal/workloads"
 )
 
@@ -34,12 +42,13 @@ func main() {
 	var (
 		workload = flag.String("workload", "wordcount",
 			"workload: wordcount, yahoo, nexmark-q5, nexmark-q11")
-		rate     = flag.Float64("rate", 0, "input rate in records/s (default: the workload's)")
-		latency  = flag.Float64("latency", 0, "target latency in ms (default: the workload's)")
-		duration = flag.Float64("duration", 3600, "controller mode: simulated seconds to run")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		mode     = flag.String("mode", "once", "once | controller")
-		explain  = flag.Bool("explain", false, "print a 'why this configuration' report per decision")
+		rate      = flag.Float64("rate", 0, "input rate in records/s (default: the workload's)")
+		latency   = flag.Float64("latency", 0, "target latency in ms (default: the workload's)")
+		duration  = flag.Float64("duration", 3600, "controller mode: simulated seconds to run")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		mode      = flag.String("mode", "once", "once | controller")
+		explain   = flag.Bool("explain", false, "print a 'why this configuration' report per decision")
+		chaosProf = flag.String("chaos", "none", "fault-injection profile: none | light | heavy")
 	)
 	flag.Parse()
 
@@ -55,9 +64,25 @@ func main() {
 		*latency = spec.TargetLatencyMS
 	}
 
+	profile, err := chaos.ByName(*chaosProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autrascale: %v\n", err)
+		os.Exit(2)
+	}
+	var injector *chaos.Injector
+	var store *metrics.Store
+	if profile.Enabled() {
+		injector = chaos.New(profile, *seed)
+		store = metrics.NewStore()
+		fmt.Printf("chaos profile %q enabled (seed %d — reuse it to reproduce this run)\n",
+			profile.Name, *seed)
+	}
+
 	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{
 		Schedule: kafka.ConstantRate(*rate),
 		Seed:     *seed,
+		Chaos:    injector,
+		Store:    store,
 	})
 	if err != nil {
 		fatal(err)
@@ -72,6 +97,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "autrascale: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	printChaosCounters(store, engine.JobName())
+}
+
+// printChaosCounters reports the fault-handling counters after a chaos
+// run: retries and degraded decisions (the _total suffix matches the
+// Prometheus exposition names).
+func printChaosCounters(store *metrics.Store, job string) {
+	if store == nil {
+		return
+	}
+	tags := map[string]string{"job": job}
+	fmt.Printf("\nchaos outcome: rescale_retries_total %.0f, degraded_decisions_total %.0f\n",
+		store.Counter("rescale_retries", tags).Value(),
+		store.Counter("degraded_decisions", tags).Value())
 }
 
 func findWorkload(name string) (workloads.Spec, bool) {

@@ -1,0 +1,85 @@
+// Chaos soak: run the full MAPE controller on the WordCount benchmark
+// while a seeded fault injector fails and delays rescales, drops and
+// corrupts measurement windows, kills a machine mid-run, and stalls
+// Kafka partitions (the "heavy" profile). The controller must ride
+// through all of it: failed rescales are retried with backoff, a rescale
+// that exhausts its budget degrades the decision to the last-known-good
+// configuration, and the next policy tick re-plans.
+//
+// Every fault decision derives from one seed, so a failure seen in CI is
+// replayed exactly by re-running with the same -seed (see docs/chaos.md).
+//
+// Run with:
+//
+//	go run ./examples/chaos_soak [-seed N] [-hours H] [-profile light|heavy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"autrascale"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "seed for engine noise and fault injection")
+	hours := flag.Float64("hours", 4, "simulated hours to soak")
+	profileName := flag.String("profile", "heavy", "fault profile: light | heavy")
+	flag.Parse()
+
+	profile, err := autrascale.ChaosProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := autrascale.WordCount()
+	store := autrascale.NewMetricsStore()
+	engine, err := autrascale.NewEngine(spec, autrascale.EngineOptions{
+		Seed:  *seed,
+		Store: store,
+		Chaos: autrascale.NewChaosInjector(profile, *seed),
+		// Tight retry budget: double failures surface as degraded
+		// decisions instead of being quietly retried away.
+		RescaleMaxAttempts: 2,
+		RescaleBackoffSec:  5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := autrascale.NewController(engine, autrascale.ControllerConfig{
+		TargetLatencyMS: spec.TargetLatencyMS,
+		MaxIterations:   8,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("soaking %s under the %q fault profile for %.1f simulated hours (seed %d)\n\n",
+		spec.Name, profile.Name, *hours, *seed)
+	events, err := ctl.Run(*hours * 3600)
+	if err != nil {
+		log.Fatalf("controller wedged under chaos: %v", err)
+	}
+
+	fmt.Printf("%-8s %-12s %-18s %-12s %s\n", "t(s)", "action", "parallelism", "latency(ms)", "reason")
+	degraded := 0
+	for _, ev := range events {
+		if ev.Action == "none" {
+			continue
+		}
+		if ev.Action == "degraded" {
+			degraded++
+		}
+		fmt.Printf("%-8.0f %-12s %-18s %-12.0f %s\n",
+			ev.TimeSec, ev.Action, ev.Par.String(), ev.ProcLatencyMS, ev.Reason)
+	}
+
+	tags := map[string]string{"job": spec.Name}
+	fmt.Printf("\nsoak outcome over %d decisions:\n", len(events))
+	fmt.Printf("  rescale_retries_total    %.0f\n", store.Counter("rescale_retries", tags).Value())
+	fmt.Printf("  degraded_decisions_total %.0f\n", store.Counter("degraded_decisions", tags).Value())
+	fmt.Printf("  final configuration      %v\n", engine.Parallelism())
+	fmt.Printf("\nreplay this exact run: go run ./examples/chaos_soak -seed %d -profile %s -hours %g\n",
+		*seed, *profileName, *hours)
+}

@@ -1,0 +1,127 @@
+package bo
+
+import (
+	"testing"
+
+	"autrascale/internal/dataflow"
+	"autrascale/internal/stat"
+)
+
+// Metamorphic properties of Eq. 4 / Eq. 9: instead of asserting exact
+// scores, assert how F must move when the inputs are transformed.
+
+func randomScorer(rng *stat.RNG) (Scorer, dataflow.ParallelismVector) {
+	n := 2 + rng.Intn(4)
+	base := make(dataflow.ParallelismVector, n)
+	cur := make(dataflow.ParallelismVector, n)
+	for i := range base {
+		base[i] = 1 + rng.Intn(8)
+		cur[i] = 1 + rng.Intn(16)
+	}
+	s, err := NewScorer(rng.Float64(), 50+200*rng.Float64(), base)
+	if err != nil {
+		panic(err)
+	}
+	return s, cur
+}
+
+// Scaling every k_i up (more resources, same latency) must not increase
+// the resource term — so F must not increase.
+func TestScoreMetamorphicScalingUpNeverRewards(t *testing.T) {
+	rng := stat.NewRNG(4100)
+	for trial := 0; trial < 200; trial++ {
+		s, cur := randomScorer(rng)
+		lat := 300 * rng.Float64()
+		scaled := cur.Clone()
+		for i := range scaled {
+			scaled[i] += 1 + rng.Intn(5)
+		}
+		before, after := s.Score(lat, cur), s.Score(lat, scaled)
+		if after > before+1e-12 {
+			t.Fatalf("trial %d: scaling %v up to %v increased F: %.9f -> %.9f",
+				trial, cur, scaled, before, after)
+		}
+	}
+}
+
+// Meeting the latency target exactly maxes the latency term, so F ≥ α
+// regardless of how over-provisioned the configuration is.
+func TestScoreMetamorphicAtTargetLatencyFloorsAtAlpha(t *testing.T) {
+	rng := stat.NewRNG(4200)
+	for trial := 0; trial < 200; trial++ {
+		s, cur := randomScorer(rng)
+		if f := s.Score(s.TargetMS, cur); f < s.Alpha-1e-12 {
+			t.Fatalf("trial %d: latency exactly at target gives F=%.9f < alpha=%.9f (cur %v, base %v)",
+				trial, f, s.Alpha, cur, s.Base)
+		}
+		if !s.LatencyMet(s.TargetMS) {
+			t.Fatal("latency exactly at target must count as met")
+		}
+	}
+}
+
+// Worse latency can only lower F, never raise it.
+func TestScoreMetamorphicLatencyMonotone(t *testing.T) {
+	rng := stat.NewRNG(4300)
+	for trial := 0; trial < 200; trial++ {
+		s, cur := randomScorer(rng)
+		l1 := 300 * rng.Float64()
+		l2 := l1 + 200*rng.Float64()
+		if f1, f2 := s.Score(l1, cur), s.Score(l2, cur); f2 > f1+1e-12 {
+			t.Fatalf("trial %d: latency %.1f -> %.1f raised F %.9f -> %.9f", trial, l1, l2, f1, f2)
+		}
+	}
+}
+
+// F is bounded: running at the base configuration with the target met
+// scores exactly 1, and no input scores above 1 or below 0.
+func TestScoreMetamorphicBounds(t *testing.T) {
+	rng := stat.NewRNG(4400)
+	for trial := 0; trial < 200; trial++ {
+		s, cur := randomScorer(rng)
+		if f := s.Score(s.TargetMS, s.Base); f != 1 {
+			t.Fatalf("trial %d: base config at target should score 1, got %v", trial, f)
+		}
+		f := s.Score(500*rng.Float64(), cur)
+		if f < 0 || f > 1 {
+			t.Fatalf("trial %d: F=%v out of [0, 1]", trial, f)
+		}
+	}
+}
+
+// The Eq. 9 threshold is monotone decreasing in the over-allocation
+// tolerance w, pinned at 1 for w=0, and floors at α as w → ∞.
+func TestThresholdMetamorphicMonotoneInW(t *testing.T) {
+	rng := stat.NewRNG(4500)
+	for trial := 0; trial < 200; trial++ {
+		s, _ := randomScorer(rng)
+		if th := s.Threshold(0); th != 1 {
+			t.Fatalf("trial %d: Threshold(0) = %v, want 1 (no tolerance demands a perfect score)", trial, th)
+		}
+		w1 := 5 * rng.Float64()
+		w2 := w1 + 5*rng.Float64()
+		th1, th2 := s.Threshold(w1), s.Threshold(w2)
+		if th2 > th1+1e-12 {
+			t.Fatalf("trial %d: threshold rose with tolerance: w %.3f->%.3f, th %.9f->%.9f",
+				trial, w1, w2, th1, th2)
+		}
+		if th1 < s.Alpha-1e-12 || th1 > 1+1e-12 {
+			t.Fatalf("trial %d: Threshold(%v) = %v outside [alpha=%v, 1]", trial, w1, th1, s.Alpha)
+		}
+		if th := s.Threshold(1e12); th > s.Alpha+1e-9 {
+			t.Fatalf("trial %d: threshold should floor at alpha for huge w, got %v (alpha %v)",
+				trial, th, s.Alpha)
+		}
+	}
+}
+
+// Negative w is clamped — callers cannot demand a threshold above 1.
+func TestThresholdClampsNegativeW(t *testing.T) {
+	s, err := NewScorer(0.5, 100, dataflow.ParallelismVector{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Threshold(-3); got != 1 {
+		t.Fatalf("Threshold(-3) = %v, want the w=0 value 1", got)
+	}
+}

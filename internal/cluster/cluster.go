@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Machine describes one worker node.
@@ -142,6 +143,30 @@ func (c *Cluster) SetMachineDown(name string, down bool) error {
 		}
 	}
 	return fmt.Errorf("cluster: unknown machine %q", name)
+}
+
+// UpMachineNames returns the names of machines currently up, sorted.
+// Fault injectors pick kill victims from this list (first entry), so
+// victim selection is deterministic — never a map-iteration artifact.
+func (c *Cluster) UpMachineNames() []string {
+	return c.machineNames(false)
+}
+
+// DownMachineNames returns the names of failed machines, sorted —
+// recovery candidates for fault schedules.
+func (c *Cluster) DownMachineNames() []string {
+	return c.machineNames(true)
+}
+
+func (c *Cluster) machineNames(down bool) []string {
+	var names []string
+	for i, m := range c.machines {
+		if c.down[i] == down {
+			names = append(names, m.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // MachineDown reports whether the named machine is failed.

@@ -78,6 +78,10 @@ const (
 	ActionThroughput ActionKind = "throughput" // ran the throughput optimizer
 	ActionAlgorithm1 ActionKind = "algorithm1" // ran BO at a steady rate
 	ActionAlgorithm2 ActionKind = "algorithm2" // ran transfer learning
+	// ActionDegraded: a planning session hit a failed/timed-out rescale
+	// after retries; the controller kept the last-known-good
+	// configuration and will re-plan on the next policy tick.
+	ActionDegraded ActionKind = "degraded"
 )
 
 // Event records one controller decision.
@@ -163,6 +167,12 @@ func (c *Controller) pushReport(r DecisionReport) {
 	}
 	job := c.engine.JobName()
 	st.Counter("autrascale.decisions", map[string]string{"job": job, "action": string(r.Action)}).Inc()
+	if r.Degraded {
+		// Degraded decisions have no BO outcome to histogram; they are
+		// tracked by their own counter for scrape-side alerting.
+		st.Counter("degraded_decisions", map[string]string{"job": job}).Inc()
+		return
+	}
 	st.Histogram("autrascale.bo.iterations", map[string]string{"job": job}, boIterationBuckets).
 		Observe(float64(r.Iterations))
 	st.Histogram("autrascale.decision.margin", map[string]string{"job": job}, marginBuckets).
@@ -236,33 +246,40 @@ func (c *Controller) Step() (Event, error) {
 
 	switch {
 	case rateChanged:
-		if err := c.replan(rate, &ev, sp); err != nil {
+		switch err := c.replan(rate, &ev, sp); {
+		case err == nil:
+			c.rateEWMA.Reset()
+			c.rateEWMA.Observe(rate)
+			// A planning session runs many trial configurations and leaves a
+			// large source backlog behind. Let the final restart complete,
+			// then resume from the latest offsets — production controllers
+			// do the same after maintenance; draining minutes of
+			// experiment-era backlog would otherwise dominate QoS forever.
+			e.Run(30)
+			e.SeekToLatest()
+		case errors.Is(err, flink.ErrRescaleFailed):
+			c.degrade(&ev, rate, err)
+		default:
 			return ev, err
 		}
-		c.rateEWMA.Reset()
-		c.rateEWMA.Observe(rate)
-		// A planning session runs many trial configurations and leaves a
-		// large source backlog behind. Let the final restart complete,
-		// then resume from the latest offsets — production controllers
-		// do the same after maintenance; draining minutes of
-		// experiment-era backlog would otherwise dominate QoS forever.
-		e.Run(30)
-		e.SeekToLatest()
 	case !c.qosOK(m):
 		ev.Action = ActionAlgorithm1
 		ev.Reason = fmt.Sprintf("QoS out of range (latency %.0fms, throughput %.0f rps)",
 			m.ProcLatencyMS, m.ThroughputRPS)
 		rep := DecisionReport{TimeSec: ev.TimeSec, Action: ev.Action, Reason: ev.Reason, RateRPS: rate}
-		a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate))
-		if err != nil {
+		switch a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate)); {
+		case err == nil:
+			c.storeModel(rate, a1.Model)
+			ev.Par = a1.Best.Par.Clone()
+			rep.FillFromAlgorithm1(a1)
+			c.pushReport(rep)
+			e.Run(30)
+			e.SeekToLatest()
+		case errors.Is(err, flink.ErrRescaleFailed):
+			c.degrade(&ev, rate, err)
+		default:
 			return ev, err
 		}
-		c.storeModel(rate, a1.Model)
-		ev.Par = a1.Best.Par.Clone()
-		rep.FillFromAlgorithm1(a1)
-		c.pushReport(rep)
-		e.Run(30)
-		e.SeekToLatest()
 	}
 	if c.tracer.Enabled() {
 		sp.SetStr("action", string(ev.Action))
@@ -341,6 +358,31 @@ func (c *Controller) replan(rate float64, ev *Event, parent *trace.ActiveSpan) e
 	c.pushReport(rep)
 	c.curRate = rate
 	return nil
+}
+
+// degrade handles a planning session that died on a failed or timed-out
+// rescale: the engine is still on the last configuration it reached
+// successfully (a failed rescale never switches), so the controller
+// records a Degraded decision, keeps that last-known-good configuration,
+// and leaves c.curRate untouched — the next Step sees the rate change
+// again and re-plans instead of wedging.
+func (c *Controller) degrade(ev *Event, rate float64, cause error) {
+	e := c.engine
+	ev.Action = ActionDegraded
+	ev.Par = e.Parallelism()
+	ev.Reason = fmt.Sprintf("planning aborted (%v); keeping last-known-good %s", cause, ev.Par)
+	c.pushReport(DecisionReport{
+		TimeSec:  ev.TimeSec,
+		Action:   ActionDegraded,
+		Reason:   ev.Reason,
+		RateRPS:  rate,
+		Degraded: true,
+		Chosen:   ev.Par.Clone(),
+	})
+	// Drop the backlog the aborted session accumulated, as a completed
+	// session would, so the job resumes from live data.
+	e.Run(30)
+	e.SeekToLatest()
 }
 
 func (c *Controller) algorithm1Config(rate float64) Algorithm1Config {

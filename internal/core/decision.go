@@ -41,6 +41,10 @@ type DecisionReport struct {
 	Action  ActionKind `json:"action"`
 	Reason  string     `json:"reason"`
 	RateRPS float64    `json:"rate_rps"`
+	// Degraded marks a decision aborted by a failed/timed-out rescale:
+	// the controller kept the last-known-good configuration (Chosen)
+	// and re-plans on the next policy tick.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// Throughput-optimization stage (Eq. 3 iteration + history review).
 	Base               dataflow.ParallelismVector `json:"base,omitempty"`
@@ -94,6 +98,10 @@ func (r DecisionReport) Explain() string {
 	fmt.Fprintf(&b, "  trigger: %s\n", r.Reason)
 	if r.RateRPS > 0 {
 		fmt.Fprintf(&b, "  input rate: %.0f records/s\n", r.RateRPS)
+	}
+	if r.Degraded {
+		fmt.Fprintf(&b, "  DEGRADED: kept last-known-good %v; re-planning next tick\n", r.Chosen)
+		return b.String()
 	}
 	if r.Base != nil {
 		fmt.Fprintf(&b, "  throughput stage (Eq. 3): base k' = %v after %d iteration(s)",

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
+	"autrascale/internal/chaos"
 	"autrascale/internal/cluster"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
@@ -119,6 +122,59 @@ func TestRestartStorm(t *testing.T) {
 	}
 	if e.Restarts() < 10 {
 		t.Fatalf("expected many restarts, got %d", e.Restarts())
+	}
+}
+
+// Machine-kill victim selection must be deterministic: the sorted-first
+// up machine, never map-iteration order, never the last machine standing
+// — so a seeded chaos schedule reproduces the identical failover.
+func TestMachineKillVictimSelectionDeterministic(t *testing.T) {
+	run := func() []string {
+		// Machines declared out of sorted order on purpose: selection
+		// must go by sorted name, not declaration or map order.
+		c, err := cluster.New(cluster.Config{Machines: []cluster.Machine{
+			{Name: "m3", Cores: 16, MemMB: 32768},
+			{Name: "m1", Cores: 16, MemMB: 32768},
+			{Name: "m2", Cores: 16, MemMB: 32768},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topic, err := kafka.NewTopic("in", 4, kafka.ConstantRate(1500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := flink.New(flink.Config{Graph: latencyChain(t), Cluster: c, Topic: topic,
+			NoNoise: true, Seed: 17,
+			Chaos: chaos.New(chaos.Profile{MachineEvents: []chaos.MachineEvent{
+				{AtSec: 100, Down: true}, // no machine named: deterministic victim
+				{AtSec: 200, Down: true},
+				{AtSec: 300, Down: false},
+			}}, 17)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trail []string
+		for _, at := range []float64{150, 250, 350} {
+			for e.Now() < at {
+				e.Run(10)
+			}
+			trail = append(trail, strings.Join(c.DownMachineNames(), ","))
+		}
+		return trail
+	}
+	first := run()
+	// m1 is the sorted-first name, so it dies first; m2 follows; the
+	// recovery brings back m1 (sorted-first down machine).
+	want := []string{"m1", "m1,m2", "m2"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("down set after event %d = %q, want %q (victims must follow sorted IDs)",
+				i, first[i], want[i])
+		}
+	}
+	if second := run(); !reflect.DeepEqual(first, second) {
+		t.Fatalf("victim selection not reproducible: %v vs %v", first, second)
 	}
 }
 

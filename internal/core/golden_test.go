@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"autrascale/internal/kafka"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenDecision is the stable subset of a DecisionReport recorded in the
+// golden trace: the chosen configurations and why each planning session
+// terminated. Raw scores/latencies are deliberately excluded — they carry
+// more float formatting than the regression needs.
+type goldenDecision struct {
+	TimeSec            float64 `json:"time_sec"`
+	Action             string  `json:"action"`
+	Reason             string  `json:"reason"`
+	RateRPS            float64 `json:"rate_rps"`
+	Base               string  `json:"base,omitempty"`
+	Chosen             string  `json:"chosen"`
+	Met                bool    `json:"met"`
+	Degraded           bool    `json:"degraded,omitempty"`
+	Iterations         int     `json:"bo_iterations"`
+	BootstrapRuns      int     `json:"bootstrap_runs"`
+	ReachedTarget      bool    `json:"reached_target"`
+	TerminatedByRepeat bool    `json:"terminated_by_repeat"`
+	SwitchedToA1       bool    `json:"switched_to_a1,omitempty"`
+}
+
+func goldenFromReports(reports []DecisionReport) []goldenDecision {
+	out := make([]goldenDecision, 0, len(reports))
+	for _, r := range reports {
+		out = append(out, goldenDecision{
+			TimeSec:            r.TimeSec,
+			Action:             string(r.Action),
+			Reason:             r.Reason,
+			RateRPS:            r.RateRPS,
+			Base:               r.Base.String(),
+			Chosen:             r.Chosen.String(),
+			Met:                r.Met,
+			Degraded:           r.Degraded,
+			Iterations:         r.Iterations,
+			BootstrapRuns:      r.BootstrapRuns,
+			ReachedTarget:      r.ReachedTarget,
+			TerminatedByRepeat: r.TerminatedByRepeat,
+			SwitchedToA1:       r.SwitchedToA1,
+		})
+	}
+	return out
+}
+
+// The golden-trace regression: a fixed-seed rate-change scenario (1500 →
+// 2000 rps, forcing Algorithm 1 then transfer) must keep producing the
+// decision sequence checked into testdata. Behavior changes that move the
+// controller's decisions show up as a readable JSON diff; intentional
+// changes are blessed with `go test ./internal/core -run Golden -update`.
+func TestGoldenTraceRateChangeTransfer(t *testing.T) {
+	sched := kafka.StepSchedule{Steps: []kafka.Step{
+		{FromSec: 0, Rate: 1500},
+		{FromSec: 1200, Rate: 2000},
+	}}
+	e := controllerEngine(t, sched)
+	ctl, err := NewController(e, ControllerConfig{TargetLatencyMS: 160, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first planning session alone burns ~5600 simulated seconds of
+	// trials; three hours leaves room for the transfer replan and a few
+	// steady-state windows after it.
+	if _, err := ctl.Run(10800); err != nil {
+		t.Fatal(err)
+	}
+	got := goldenFromReports(ctl.Decisions())
+	if len(got) < 2 {
+		t.Fatalf("scenario should produce at least the A1 and transfer decisions, got %d", len(got))
+	}
+
+	path := filepath.Join("testdata", "ratechange_golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace rewritten: %s (%d decisions)", path, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenDecision
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decision count drifted: got %d, golden has %d (bless with -update if intentional)",
+			len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			g, _ := json.Marshal(got[i])
+			w, _ := json.Marshal(want[i])
+			t.Errorf("decision %d drifted from golden:\n got  %s\n want %s", i, g, w)
+		}
+	}
+	if t.Failed() {
+		t.Log("if the change is intentional, regenerate with: go test ./internal/core -run Golden -update")
+	}
+}

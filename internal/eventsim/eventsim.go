@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"autrascale/internal/chaos"
 	"autrascale/internal/stat"
 )
 
@@ -40,6 +41,10 @@ type Config struct {
 	WarmupRecords int
 	// Seed drives all randomness.
 	Seed uint64
+	// Chaos injects per-record service pauses (GC-style stalls) via the
+	// injector's PauseProb/PauseSec; nil disables. The injector's own
+	// seed keeps runs reproducible independently of Seed.
+	Chaos *chaos.Injector
 }
 
 // Result aggregates the per-record measurements.
@@ -142,7 +147,7 @@ func Simulate(cfg Config) (Result, error) {
 			waitSums[st] += now - stationIn[rec]
 			waitCounts[st]++
 		}
-		service := rng.Exp(1 / cfg.Stations[st].MeanServiceSec)
+		service := rng.Exp(1/cfg.Stations[st].MeanServiceSec) + cfg.Chaos.PauseSec()
 		heap.Push(h, event{at: now + service, kind: evDeparture, record: rec, station: st})
 	}
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"autrascale/internal/chaos"
 	"autrascale/internal/queueing"
 )
 
@@ -166,5 +167,38 @@ func TestPoolingEffect(t *testing.T) {
 	if big.MeanWaitSec[0] >= small.MeanWaitSec[0] {
 		t.Fatalf("pooling should reduce wait: c=2 %v vs c=4 %v",
 			small.MeanWaitSec[0], big.MeanWaitSec[0])
+	}
+}
+
+// Chaos pauses stretch service times, so sojourn time must rise — and
+// the injector's seed, not wall randomness, must make it reproducible.
+func TestChaosPausesIncreaseSojournDeterministically(t *testing.T) {
+	base := Config{
+		Stations:       []Station{{Servers: 2, MeanServiceSec: 0.1}, {Servers: 2, MeanServiceSec: 0.08}},
+		ArrivalRateRPS: 5,
+		Records:        2000,
+		Seed:           21,
+	}
+	clean, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paused := base
+	paused.Chaos = chaos.New(chaos.Profile{PauseProb: 0.1, PauseSec: 0.5}, 22)
+	slow, err := Simulate(paused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MeanSojournSec <= clean.MeanSojournSec {
+		t.Fatalf("GC-style pauses should raise sojourn: clean %.4fs, paused %.4fs",
+			clean.MeanSojournSec, slow.MeanSojournSec)
+	}
+	paused.Chaos = chaos.New(chaos.Profile{PauseProb: 0.1, PauseSec: 0.5}, 22)
+	again, err := Simulate(paused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MeanSojournSec != slow.MeanSojournSec || again.P95SojournSec != slow.P95SojournSec {
+		t.Fatalf("same injector seed must reproduce the run: %+v vs %+v", slow, again)
 	}
 }

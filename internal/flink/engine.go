@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 
+	"autrascale/internal/chaos"
 	"autrascale/internal/cluster"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/kafka"
@@ -46,6 +47,12 @@ import (
 	"autrascale/internal/stat"
 	"autrascale/internal/trace"
 )
+
+// ErrRescaleFailed is returned (wrapped) when a rescale exhausts its
+// retry budget or deadline. The controller treats it as a degraded —
+// not fatal — outcome: it keeps the last-known-good configuration and
+// re-plans on the next policy tick.
+var ErrRescaleFailed = errors.New("flink: rescale failed")
 
 // Config configures an Engine.
 type Config struct {
@@ -74,6 +81,19 @@ type Config struct {
 	// Tracer records rescale actions and measurement windows; nil
 	// disables tracing. Per-tick work is never traced.
 	Tracer *trace.Tracer
+	// Chaos injects faults (failed/slow rescales, dropped or corrupted
+	// measurement ticks, scheduled machine kills, partition stalls);
+	// nil disables injection at zero cost.
+	Chaos *chaos.Injector
+	// RescaleMaxAttempts bounds how often a failed rescale is retried
+	// before giving up (default 4).
+	RescaleMaxAttempts int
+	// RescaleBackoffSec is the first retry backoff in simulated
+	// seconds; it doubles per attempt (default 5).
+	RescaleBackoffSec float64
+	// RescaleDeadlineSec bounds the total simulated time one rescale
+	// may spend retrying (default 120).
+	RescaleDeadlineSec float64
 }
 
 // Engine is the simulator instance for one job.
@@ -85,10 +105,15 @@ type Engine struct {
 	tracer  *trace.Tracer
 	jobName string
 	rng     *stat.RNG
+	chaos   *chaos.Injector
 
 	tickSec     float64
 	downtimeSec float64
 	rateNoise   float64
+
+	rescaleMaxAttempts int
+	rescaleBackoffSec  float64
+	rescaleDeadlineSec float64
 
 	par          dataflow.ParallelismVector
 	arrivalFac   []float64 // records arriving at op i per source record
@@ -186,18 +211,34 @@ func New(cfg Config) (*Engine, error) {
 	if err := par.Validate(cfg.Cluster.MaxParallelism()); err != nil {
 		return nil, err
 	}
+	attempts := cfg.RescaleMaxAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	backoff := cfg.RescaleBackoffSec
+	if backoff <= 0 {
+		backoff = 5
+	}
+	deadline := cfg.RescaleDeadlineSec
+	if deadline <= 0 {
+		deadline = 120
+	}
 	e := &Engine{
-		graph:       cfg.Graph,
-		cluster:     cfg.Cluster,
-		topic:       cfg.Topic,
-		store:       cfg.Store,
-		tracer:      cfg.Tracer,
-		jobName:     name,
-		rng:         stat.NewRNG(cfg.Seed ^ 0x9d5c_1fd3_0b77_4c2b),
-		tickSec:     tick,
-		downtimeSec: down,
-		rateNoise:   noise,
-		par:         par.Clone(),
+		graph:              cfg.Graph,
+		cluster:            cfg.Cluster,
+		topic:              cfg.Topic,
+		store:              cfg.Store,
+		tracer:             cfg.Tracer,
+		chaos:              cfg.Chaos,
+		jobName:            name,
+		rng:                stat.NewRNG(cfg.Seed ^ 0x9d5c_1fd3_0b77_4c2b),
+		tickSec:            tick,
+		downtimeSec:        down,
+		rateNoise:          noise,
+		rescaleMaxAttempts: attempts,
+		rescaleBackoffSec:  backoff,
+		rescaleDeadlineSec: deadline,
+		par:                par.Clone(),
 	}
 	e.arrivalFac = arrivalFactors(cfg.Graph)
 	e.resetWindow()
@@ -252,6 +293,15 @@ func (e *Engine) Parallelism() dataflow.ParallelismVector { return e.par.Clone()
 // SetParallelism reconfigures the job. If the configuration changes, the
 // job incurs the savepoint/restart downtime and the measurement window
 // resets (§IV: metrics during restart are ignored).
+//
+// Under fault injection a rescale attempt may fail; the engine then
+// retries with exponential backoff (burning simulated time, during
+// which the job keeps running on the old configuration) until the
+// attempt budget or deadline is exhausted, at which point it returns an
+// error wrapping ErrRescaleFailed and leaves the configuration — the
+// last-known-good one — unchanged. Each retry increments the
+// rescale_retries counter and, when tracing, emits a
+// flink.rescale_attempt span.
 func (e *Engine) SetParallelism(p dataflow.ParallelismVector) error {
 	if len(p) != e.graph.NumOperators() {
 		return fmt.Errorf("flink: parallelism has %d entries, graph has %d operators",
@@ -263,23 +313,59 @@ func (e *Engine) SetParallelism(p dataflow.ParallelismVector) error {
 	if p.Equal(e.par) {
 		return nil
 	}
+	backoff := e.rescaleBackoffSec
+	deadline := e.nowSec + e.rescaleDeadlineSec
+	for attempt := 1; ; attempt++ {
+		if !e.chaos.FailRescale() {
+			e.applyRescale(p, attempt)
+			return nil
+		}
+		// Attempt failed: count the retry, back off in simulated time,
+		// and try again — unless the budget or the deadline is spent.
+		if e.store != nil {
+			e.store.Counter("rescale_retries", map[string]string{"job": e.jobName}).Inc()
+		}
+		exhausted := attempt >= e.rescaleMaxAttempts || e.nowSec+backoff > deadline
+		if e.tracer.Enabled() {
+			sp := e.tracer.StartSpan("flink.rescale_attempt")
+			sp.SetFloat("t_sec", e.nowSec)
+			sp.SetStr("to", p.String())
+			sp.SetInt("attempt", attempt)
+			sp.SetBool("ok", false)
+			sp.SetBool("gave_up", exhausted)
+			sp.SetFloat("backoff_sec", backoff)
+			sp.End()
+		}
+		if exhausted {
+			return fmt.Errorf("%w: %s after %d attempt(s)", ErrRescaleFailed, p, attempt)
+		}
+		e.Run(backoff)
+		backoff *= 2
+	}
+}
+
+// applyRescale commits a successful rescale attempt: trace, count,
+// switch configuration and start the savepoint/restart outage (plus any
+// injected slow-savepoint delay).
+func (e *Engine) applyRescale(p dataflow.ParallelismVector, attempt int) {
+	down := e.downtimeSec + e.chaos.RescaleDelaySec()
 	if e.tracer.Enabled() {
 		sp := e.tracer.StartSpan("flink.rescale")
 		sp.SetFloat("t_sec", e.nowSec)
 		sp.SetStr("from", e.par.String())
 		sp.SetStr("to", p.String())
 		sp.SetInt("slots_delta", p.Total()-e.par.Total())
-		sp.SetFloat("downtime_sec", e.downtimeSec)
+		sp.SetInt("attempt", attempt)
+		sp.SetFloat("downtime_sec", down)
 		sp.End()
 	}
 	if e.store != nil {
 		e.store.Counter("flink.rescales", map[string]string{"job": e.jobName}).Inc()
 	}
 	e.par = p.Clone()
-	e.restartUntil = e.nowSec + e.downtimeSec
+	e.restartUntil = e.nowSec + down
 	e.restarts++
 	e.resetWindow()
-	return nil
 }
 
 func (e *Engine) resetWindow() {
@@ -356,6 +442,9 @@ func (e *Engine) cpuDemand() float64 {
 
 // Tick advances the simulation by one step.
 func (e *Engine) Tick() {
+	if e.chaos.Enabled() {
+		e.applyChaosSchedules()
+	}
 	dt := e.tickSec
 	e.topic.Produce(e.nowSec, dt)
 	e.nowSec += dt
@@ -431,26 +520,88 @@ func (e *Engine) Tick() {
 	e.lastUtil = util
 	e.lastCPUUsed = cpuUsed
 
-	// Accumulate window stats.
+	// Accumulate window stats. Fault injection may drop the tick from
+	// the measurement window (reporter outage) or corrupt the measured
+	// values by a multiplicative factor (sensor fault) — the simulated
+	// system itself is unaffected, only what the policies observe.
+	drop, corrupt := false, 1.0
+	if e.chaos.Enabled() {
+		drop, corrupt = e.chaos.WindowFault()
+	}
+	if drop {
+		return
+	}
 	w := &e.win
 	w.ticks++
-	w.throughput += throughput
-	w.procLatency += procLatency
-	w.eventLatency += eventLatency
+	w.throughput += throughput * corrupt
+	w.procLatency += procLatency * corrupt
+	w.eventLatency += eventLatency * corrupt
 	w.cpuUsed += cpuUsed
 	for i := 0; i < n; i++ {
-		w.trueRates[i] += trueRates[i]
-		w.observed[i] += observed[i]
-		w.lambda[i] += lambda[i]
+		w.trueRates[i] += trueRates[i] * corrupt
+		w.observed[i] += observed[i] * corrupt
+		w.lambda[i] += lambda[i] * corrupt
 	}
 	// One per-record latency sample per tick keeps distributions cheap.
-	sample := procLatency
+	sample := procLatency * corrupt
 	if e.rateNoise > 0 {
 		sample *= e.rng.LogNormal(0, 0.2)
 	}
 	w.latencySamples = append(w.latencySamples, sample)
 
 	e.recordMetrics(trueRates, observed, throughput, procLatency, eventLatency)
+}
+
+// applyChaosSchedules fires the injector's scheduled faults that are
+// due at the current simulated time: machine kills/recoveries and
+// partition-stall windows. Events naming no machine pick their victim
+// deterministically from the cluster's sorted machine names, so the
+// same schedule and seed always hit the same machines. An event the
+// cluster refuses (e.g. killing the last machine) is skipped, never
+// fatal.
+func (e *Engine) applyChaosSchedules() {
+	e.topic.SetStalledFraction(e.chaos.StallFraction(e.nowSec))
+	for _, ev := range e.chaos.DueMachineEvents(e.nowSec) {
+		name := ev.Machine
+		if name == "" {
+			name = e.chaosVictim(ev.Down)
+		}
+		if name == "" {
+			continue
+		}
+		var err error
+		if ev.Down {
+			err = e.FailMachine(name)
+		} else {
+			err = e.RecoverMachine(name)
+		}
+		if err != nil && e.tracer.Enabled() {
+			sp := e.tracer.StartSpan("flink.chaos_event_skipped")
+			sp.SetFloat("t_sec", e.nowSec)
+			sp.SetStr("machine", name)
+			sp.SetBool("down", ev.Down)
+			sp.SetStr("error", err.Error())
+			sp.End()
+		}
+	}
+}
+
+// chaosVictim selects the machine a scheduled event targets when the
+// schedule names none: the first up machine in sorted-name order for a
+// kill (never the last one standing), the first down machine for a
+// recovery.
+func (e *Engine) chaosVictim(down bool) string {
+	if down {
+		up := e.cluster.UpMachineNames()
+		if len(up) < 2 {
+			return ""
+		}
+		return up[0]
+	}
+	if d := e.cluster.DownMachineNames(); len(d) > 0 {
+		return d[0]
+	}
+	return ""
 }
 
 // operatorLatencyMS returns the latency contribution of operator i:

@@ -1,0 +1,84 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"autrascale/internal/stat"
+)
+
+// Property: a GP posterior is a distribution, so its predictive variance
+// must be finite and non-negative at every query point, for every kernel
+// family, on arbitrary data — including near-duplicate inputs, which are
+// exactly where a sloppy Cholesky goes numerically negative.
+func TestPosteriorVarianceNonNegativeProperty(t *testing.T) {
+	families := []KernelFamily{FamilyMatern52, FamilyMatern32, FamilyRBF}
+	for trial := 0; trial < 40; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := stat.NewRNG(uint64(7000 + trial))
+			n := 3 + rng.Intn(30)
+			dim := 1 + rng.Intn(4)
+			xs := make([][]float64, n)
+			ys := make([]float64, n)
+			for i := range xs {
+				x := make([]float64, dim)
+				for d := range x {
+					x[d] = 20 * rng.Float64()
+				}
+				// Every fourth point is a near-duplicate of an earlier one
+				// — the ill-conditioned case.
+				if i > 0 && i%4 == 0 {
+					copy(x, xs[rng.Intn(i)])
+					x[0] += 1e-9
+				}
+				xs[i] = x
+				ys[i] = math.Sin(x[0]) + 0.1*rng.Normal()
+			}
+
+			r, err := FitAuto(xs, ys, FitOptions{Family: families[trial%len(families)]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := &Workspace{}
+			check := func(x []float64, where string) {
+				mean, variance, err := r.PredictWS(ws, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if variance < 0 || math.IsNaN(variance) || math.IsInf(variance, 0) {
+					t.Fatalf("%s: posterior variance %v at %v is not a variance", where, variance, x)
+				}
+				if math.IsNaN(mean) || math.IsInf(mean, 0) {
+					t.Fatalf("%s: posterior mean %v at %v", where, mean, x)
+				}
+				if _, std, err := r.PredictStd(x); err != nil || std < 0 || math.IsNaN(std) {
+					t.Fatalf("%s: posterior std %v (err %v)", where, std, err)
+				}
+			}
+			// At the training points (variance should collapse toward the
+			// noise floor, never below zero)…
+			for _, x := range xs {
+				check(x, "training point")
+			}
+			// …and away from them.
+			for q := 0; q < 20; q++ {
+				x := make([]float64, dim)
+				for d := range x {
+					x[d] = -10 + 60*rng.Float64()
+				}
+				check(x, "query point")
+			}
+			// Incremental appends preserve the property.
+			extra := make([]float64, dim)
+			for d := range extra {
+				extra[d] = 20 * rng.Float64()
+			}
+			if err := r.Append(extra, math.Sin(extra[0])); err != nil {
+				t.Fatal(err)
+			}
+			check(extra, "after Append")
+		})
+	}
+}

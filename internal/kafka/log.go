@@ -81,6 +81,11 @@ type Topic struct {
 	produced float64 // total records appended
 	consumed float64 // total records read by the consumer group
 	schedule RateSchedule
+	// stalled is the fraction of partitions currently unreadable
+	// (broker stall / ISR shrink injected by chaos). The consumer can
+	// only drain the backlog held by the live partitions; the stalled
+	// share becomes readable again when the stall clears.
+	stalled float64
 }
 
 // NewTopic creates a topic with the given partition count and producer
@@ -110,18 +115,36 @@ func (t *Topic) Produce(sec, dt float64) float64 {
 }
 
 // Consume removes up to want records and returns how many were actually
-// available. The consumer can never read past the head of the log.
+// available. The consumer can never read past the head of the log, and
+// while partitions are stalled only the live partitions' share of the
+// backlog is readable.
 func (t *Topic) Consume(want float64) float64 {
 	if want <= 0 {
 		return 0
 	}
-	avail := t.produced - t.consumed
+	avail := (t.produced - t.consumed) * (1 - t.stalled)
 	if want > avail {
 		want = avail
 	}
 	t.consumed += want
 	return want
 }
+
+// SetStalledFraction marks the given fraction of partitions unreadable
+// (clamped to [0, 1)); 0 clears the stall. Fault injection only — a
+// healthy broker never calls this.
+func (t *Topic) SetStalledFraction(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f >= 1 {
+		f = 0.99
+	}
+	t.stalled = f
+}
+
+// StalledFraction returns the fraction of partitions currently stalled.
+func (t *Topic) StalledFraction() float64 { return t.stalled }
 
 // Lag returns the records produced but not yet consumed (Kafka's
 // records-lag-max aggregated over partitions).

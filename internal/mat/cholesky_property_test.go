@@ -1,0 +1,96 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: growing a factorization one bordered column at a time with
+// Append must agree with factoring the full matrix from scratch — every
+// entry of L within 1e-8 — on random SPD matrices of random sizes.
+func TestCholeskyAppendMatchesFullFactorProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(3000 + trial)))
+			n := 2 + rng.Intn(24)
+			a := randomSPD(rng, n)
+
+			full, err := NewCholesky(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Incrementally: factor the 1×1 leading block, then border up.
+			inc, err := NewCholesky(NewMatrixFrom(1, 1, []float64{a.At(0, 0)}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := 1; m < n; m++ {
+				col := make([]float64, m)
+				for i := 0; i < m; i++ {
+					col[i] = a.At(i, m)
+				}
+				if err := inc.Append(col, a.At(m, m)); err != nil {
+					t.Fatalf("Append at size %d: %v", m, err)
+				}
+			}
+
+			lf, li := full.L(), inc.L()
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					if d := math.Abs(lf.At(i, j) - li.At(i, j)); d > 1e-8 {
+						t.Fatalf("L[%d][%d] differs by %g (full %v, incremental %v)",
+							i, j, d, lf.At(i, j), li.At(i, j))
+					}
+				}
+			}
+
+			// The factorizations must also solve identically.
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			xf, xi := full.SolveVec(b), inc.SolveVec(b)
+			for i := range xf {
+				if d := math.Abs(xf[i] - xi[i]); d > 1e-8 {
+					t.Fatalf("solve diverged at %d by %g", i, d)
+				}
+			}
+			if d := math.Abs(full.LogDet() - inc.LogDet()); d > 1e-8 {
+				t.Fatalf("log-determinants differ by %g", d)
+			}
+		})
+	}
+}
+
+// Appending a column that breaks positive-definiteness must be refused
+// and leave the factor untouched.
+func TestCholeskyAppendRejectsNonSPDUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := randomSPD(rng, 4)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.L()
+	// A bordered column identical to row 0 with the same diagonal makes
+	// the extension singular (duplicate point, no jitter).
+	col := []float64{a.At(0, 0), a.At(1, 0), a.At(2, 0), a.At(3, 0)}
+	if err := c.Append(col, a.At(0, 0)); err == nil {
+		t.Fatal("appending a duplicate row must fail")
+	}
+	if c.Size() != 4 {
+		t.Fatalf("failed Append changed the size to %d", c.Size())
+	}
+	after := c.L()
+	for i := 0; i < 4; i++ {
+		for j := 0; j <= i; j++ {
+			if before.At(i, j) != after.At(i, j) {
+				t.Fatalf("failed Append mutated L[%d][%d]", i, j)
+			}
+		}
+	}
+}

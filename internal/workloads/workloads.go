@@ -21,6 +21,7 @@ package workloads
 import (
 	"fmt"
 
+	"autrascale/internal/chaos"
 	"autrascale/internal/cluster"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
@@ -242,6 +243,14 @@ type EngineOptions struct {
 	Cluster *cluster.Cluster
 	// Tracer records rescale and measurement spans (optional).
 	Tracer *trace.Tracer
+	// Chaos injects faults into the engine (optional; nil disables).
+	Chaos *chaos.Injector
+	// RescaleMaxAttempts / RescaleBackoffSec / RescaleDeadlineSec tune the
+	// engine's retry-with-backoff rescale path (0 keeps the flink
+	// defaults). Mostly useful under chaos injection.
+	RescaleMaxAttempts int
+	RescaleBackoffSec  float64
+	RescaleDeadlineSec float64
 }
 
 // NewEngine assembles a simulator for the workload on the paper's
@@ -268,5 +277,9 @@ func NewEngine(spec Spec, opts EngineOptions) (*flink.Engine, error) {
 		NoNoise:            opts.NoNoise,
 		InitialParallelism: opts.InitialParallelism,
 		Tracer:             opts.Tracer,
+		Chaos:              opts.Chaos,
+		RescaleMaxAttempts: opts.RescaleMaxAttempts,
+		RescaleBackoffSec:  opts.RescaleBackoffSec,
+		RescaleDeadlineSec: opts.RescaleDeadlineSec,
 	})
 }
