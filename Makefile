@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp chaos check experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp chaos fleet check experiments summary fmt vet clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/ ./internal/fleet/
 
 cover:
 	$(GO) test -cover ./...
@@ -28,7 +28,7 @@ bench:
 # pinned at 0 allocs so tracing can never leak into the disabled hot
 # path). Refresh the baseline after a deliberate change with:
 #   make benchcmp BENCHCMP_FLAGS=-update
-BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
@@ -47,11 +47,23 @@ chaos:
 		$(GO) run ./examples/chaos_soak -profile heavy -hours 1 -seed $$seed | tail -n 5 || exit 1; \
 	done
 
+# Fleet gate: the control-plane unit and golden tests, then a 64-job
+# same-seed soak under the light fault profile across a seed matrix —
+# each soak runs the fleet twice in-process (-verify) and fails unless
+# the per-job decision sequences are identical (docs/fleet.md).
+FLEET_SEEDS = 1 7 42
+fleet:
+	$(GO) test ./internal/fleet/
+	@for seed in $(FLEET_SEEDS); do \
+		echo "== fleet soak: 64 jobs, light profile, seed $$seed =="; \
+		$(GO) run ./examples/fleet_scaling -jobs 64 -hours 1 -profile light -seed $$seed -verify | tail -n 3 || exit 1; \
+	done
+
 # The full pre-merge gate: static checks, unit tests (which include the
 # chaos, property, metamorphic, and golden layers), the race detector on
-# the concurrency-bearing packages, the benchmark baseline, and the
-# seeded chaos soak matrix.
-check: vet test race benchcmp chaos
+# the concurrency-bearing packages, the benchmark baseline, the seeded
+# chaos soak matrix, and the fleet determinism soak.
+check: vet test race benchcmp chaos fleet
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

@@ -46,6 +46,7 @@ import (
 	"autrascale/internal/core"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/experiments"
+	"autrascale/internal/fleet"
 	"autrascale/internal/flink"
 	"autrascale/internal/gp"
 	"autrascale/internal/kafka"
@@ -219,6 +220,9 @@ type (
 	ControllerConfig = core.ControllerConfig
 	// ControllerEvent records one controller decision.
 	ControllerEvent = core.Event
+	// DecisionReport is the full "why this configuration" record kept
+	// per planning session.
+	DecisionReport = core.DecisionReport
 )
 
 // OptimizeThroughput runs the Eq. 3 iteration with AuTraScale's
@@ -301,6 +305,44 @@ func NewDS2Policy(pmax int, targetRate float64) (*DS2Policy, error) {
 // NewDRSPolicy builds a DRS baseline policy.
 func NewDRSPolicy(v DRSVariant, pmax int, targetRate, targetLatencyMS float64) (*DRSPolicy, error) {
 	return drs.NewPolicy(v, pmax, targetRate, targetLatencyMS)
+}
+
+// ---- Fleet control plane (internal/fleet) ----
+
+type (
+	// Fleet runs many AuTraScale jobs under one sharded scheduler with
+	// cross-job model transfer (see docs/fleet.md).
+	Fleet = fleet.Fleet
+	// FleetConfig parameterizes NewFleet.
+	FleetConfig = fleet.Config
+	// FleetJobSpec describes one job submission.
+	FleetJobSpec = fleet.JobSpec
+	// FleetStatus is a point-in-time fleet snapshot.
+	FleetStatus = fleet.Status
+	// FleetJobStatus summarizes one job inside a snapshot.
+	FleetJobStatus = fleet.JobStatus
+)
+
+// Fleet job lifecycle states and sentinel errors.
+const (
+	FleetJobRunning     = fleet.StateRunning
+	FleetJobQuarantined = fleet.StateQuarantined
+	FleetJobDrained     = fleet.StateDrained
+)
+
+var (
+	ErrFleetAdmissionRejected = fleet.ErrAdmissionRejected
+	ErrFleetDuplicateJob      = fleet.ErrDuplicateJob
+	ErrFleetUnknownJob        = fleet.ErrUnknownJob
+)
+
+// NewFleet builds an empty multi-job control plane.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// StaggeredFleetJobs builds n staggered-rate copies of a workload — the
+// canonical fleet submission set.
+func StaggeredFleetJobs(spec WorkloadSpec, n int, baseRate float64) []FleetJobSpec {
+	return fleet.StaggeredJobs(spec, n, baseRate)
 }
 
 // ---- Experiments (internal/experiments) ----

@@ -16,6 +16,7 @@ import (
 	"autrascale/internal/bo"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/experiments"
+	"autrascale/internal/fleet"
 	"autrascale/internal/gp"
 	"autrascale/internal/mat"
 	"autrascale/internal/stat"
@@ -363,6 +364,37 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		}
 		if tracer.Enabled() {
 			b.Fatal("nil tracer must report disabled")
+		}
+	}
+}
+
+// BenchmarkFleetTick measures one scheduler round of an 8-job fleet in
+// steady state (every job past its initial planning session, so a round
+// is 8 MAPE monitor windows sharded across the worker pool). This is the
+// control plane's recurring cost per 60 simulated seconds; the benchcmp
+// gate holds its ns/op, keeping scheduler overhead from creeping into
+// the per-round path.
+func BenchmarkFleetTick(b *testing.B) {
+	fl, err := fleet.New(fleet.Config{TotalCores: 256, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, js := range fleet.StaggeredJobs(workloads.WordCount(), 8, 0) {
+		if err := fl.Submit(js); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Run past every job's initial Algorithm 1 session so the timed
+	// rounds measure steady-state stepping, not planning.
+	fl.RunUntil(7200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Round()
+	}
+	b.StopTimer()
+	for _, j := range fl.Snapshot().Jobs {
+		if j.State != fleet.StateRunning {
+			b.Fatalf("job %s left running state: %s (%s)", j.Name, j.State, j.Error)
 		}
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
 //	           [-seed N] [-mode controller|once] [-explain] [-chaos profile]
+//	           [-jobs N]
 //
 // Modes:
 //
@@ -12,6 +13,13 @@
 //	            and print the recommended configuration (default)
 //	controller  run the full MAPE loop for -duration simulated seconds,
 //	            printing every decision event
+//
+// With -jobs N the command ignores -mode and runs a whole fleet: N
+// staggered-rate copies of the workload under one sharded scheduler. The
+// first half is submitted cold at t=0; the second half joins halfway
+// through -duration and warm-starts from the shared model library (see
+// docs/fleet.md). The final table shows each job's state and how many
+// configuration trials its first planning session cost.
 //
 // With -chaos (none, light, heavy) a seeded fault injector fails and
 // delays rescales, drops/corrupts measurement windows, kills machines
@@ -32,6 +40,7 @@ import (
 
 	"autrascale/internal/chaos"
 	"autrascale/internal/core"
+	"autrascale/internal/fleet"
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
@@ -49,6 +58,7 @@ func main() {
 		mode      = flag.String("mode", "once", "once | controller")
 		explain   = flag.Bool("explain", false, "print a 'why this configuration' report per decision")
 		chaosProf = flag.String("chaos", "none", "fault-injection profile: none | light | heavy")
+		jobs      = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
 	)
 	flag.Parse()
 
@@ -68,6 +78,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autrascale: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *jobs > 0 {
+		runFleet(spec, *jobs, *rate, *latency, *duration, *seed, profile)
+		return
 	}
 	var injector *chaos.Injector
 	var store *metrics.Store
@@ -192,6 +207,83 @@ func runController(engine *flink.Engine, latency, duration float64, seed uint64,
 			fmt.Print(rep.Explain())
 		}
 	}
+}
+
+// runFleet drives the multi-job control plane: half the jobs submitted
+// cold at t=0, the other half joining at duration/2 to demonstrate
+// cross-job warm starts, then a per-job summary table.
+func runFleet(spec workloads.Spec, jobs int, rate, latency, duration float64,
+	seed uint64, profile chaos.Profile) {
+	store := metrics.NewStore()
+	fl, err := fleet.New(fleet.Config{
+		TotalCores: jobs * 32, // StaggeredJobs default: 2 machines × 16 cores each
+		Seed:       seed,
+		Chaos:      profile,
+		Store:      store,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if profile.Enabled() {
+		fmt.Printf("chaos profile %q enabled (seed %d — reuse it to reproduce this run)\n",
+			profile.Name, seed)
+	}
+	specs := fleet.StaggeredJobs(spec, jobs, rate)
+	for i := range specs {
+		specs[i].TargetLatencyMS = latency
+	}
+	firstWave := (jobs + 1) / 2
+	for _, js := range specs[:firstWave] {
+		if err := fl.Submit(js); err != nil {
+			fatal(err)
+		}
+	}
+	fl.RunUntil(duration / 2)
+	for _, js := range specs[firstWave:] {
+		if err := fl.Submit(js); err != nil {
+			fatal(err)
+		}
+	}
+	fl.RunUntil(duration)
+
+	st := fl.Snapshot()
+	fmt.Printf("fleet: %d jobs, %d/%d cores, %d rounds, %d warm starts, %d models shared\n",
+		len(st.Jobs), st.UsedCores, st.TotalCores, st.Rounds,
+		int(store.Counter("autrascale.fleet.warmstarts", nil).Value()),
+		int(store.Counter("autrascale.fleet.models_published", nil).Value()))
+	fmt.Printf("%-16s %-12s %-10s %-8s %-11s %-12s %s\n",
+		"job", "state", "rate(rps)", "slots", "decisions", "first-plan", "trials")
+	for _, js := range st.Jobs {
+		decisions, err := fl.Decisions(js.Name)
+		if err != nil {
+			fatal(err)
+		}
+		firstPlan, trials := "-", "-"
+		if len(decisions) > 0 {
+			d := decisions[0]
+			firstPlan = string(d.Action)
+			trials = fmt.Sprintf("%d", d.Iterations+d.BootstrapRuns)
+			if js.WarmStarted {
+				firstPlan += fmt.Sprintf(" (warm from %.0f rps)", js.WarmSourceRate)
+			}
+		}
+		state := string(js.State)
+		if js.Error != "" {
+			state += " (" + js.Error + ")"
+		}
+		fmt.Printf("%-16s %-12s %-10.0f %-8d %-11d %-12s %s\n",
+			js.Name, state, jobRate(specs, js.Name), js.Parallelism, len(decisions), firstPlan, trials)
+	}
+}
+
+// jobRate looks a job's configured rate back up from the submitted specs.
+func jobRate(specs []fleet.JobSpec, name string) float64 {
+	for _, s := range specs {
+		if s.Name == name {
+			return s.RateRPS
+		}
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 //	                  plus controller counters and histograms
 //	/status           JSON snapshot (current parallelism, rates, events)
 //	/debug/decisions  JSON decision reports (why each configuration won)
+//	/debug/fleet      fleet mode: per-job states, capacity, shared models
 //	/debug/trace      recent spans from the decision-path tracer
 //	/debug/pprof/     standard Go profiling endpoints
 //	/healthz          liveness
@@ -13,10 +14,16 @@
 // The simulation advances in real time (one simulated second per
 // -tick-interval), so a scraper watches the controller converge live.
 //
+// With -jobs N the daemon runs a whole fleet instead of a single job: N
+// staggered-rate copies of the workload under one sharded scheduler with
+// cross-job model transfer (see docs/fleet.md). /debug/fleet serves the
+// fleet snapshot and /debug/decisions takes ?job=NAME.
+//
 // Usage:
 //
 //	metricsd [-addr :9090] [-workload wordcount] [-latency ms]
 //	         [-tick-interval 10ms] [-seed N] [-trace-capacity 2048]
+//	         [-jobs N]
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 
 	"autrascale/internal/core"
 	"autrascale/internal/dataflow"
+	"autrascale/internal/fleet"
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
@@ -46,6 +54,9 @@ type server struct {
 	store  *metrics.Store
 	tracer *trace.Tracer
 	err    error
+	// fleet is set in -jobs mode; engine/ctl are nil then (the fleet owns
+	// its jobs' engines and controllers, and has its own lock).
+	fleet *fleet.Fleet
 }
 
 // serverConfig parameterizes newServer so tests can build one without
@@ -59,6 +70,9 @@ type serverConfig struct {
 	// Schedule overrides the workload's constant default rate (tests use
 	// a step schedule to exercise the transfer path).
 	Schedule kafka.RateSchedule
+	// Jobs > 0 switches to fleet mode: that many staggered-rate copies of
+	// the workload under one scheduler with cross-job model transfer.
+	Jobs int
 }
 
 // newServer assembles the simulator, controller, tracer, and store. It
@@ -83,6 +97,26 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 
 	store := metrics.NewStore()
 	tracer := trace.New(cfg.TraceCapacity)
+
+	if cfg.Jobs > 0 {
+		fl, err := fleet.New(fleet.Config{
+			TotalCores: cfg.Jobs * 32, // StaggeredJobs default: 2 machines × 16 cores each
+			Seed:       cfg.Seed,
+			Store:      store,
+			Tracer:     tracer,
+		})
+		if err != nil {
+			return nil, spec, err
+		}
+		for _, js := range fleet.StaggeredJobs(spec, cfg.Jobs, 0) {
+			js.TargetLatencyMS = cfg.LatencyMS
+			if err := fl.Submit(js); err != nil {
+				return nil, spec, err
+			}
+		}
+		return &server{fleet: fl, store: store, tracer: tracer}, spec, nil
+	}
+
 	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{
 		Store:    store,
 		Seed:     cfg.Seed,
@@ -112,6 +146,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/debug/decisions", s.handleDecisions)
+	mux.HandleFunc("/debug/fleet", s.handleFleet)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -132,6 +167,7 @@ func main() {
 		tick     = flag.Duration("tick-interval", 10*time.Millisecond, "wall time per simulated second")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		traceCap = flag.Int("trace-capacity", trace.DefaultCapacity, "span ring-buffer capacity")
+		jobs     = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
 	)
 	flag.Parse()
 
@@ -140,19 +176,32 @@ func main() {
 		LatencyMS:     *latency,
 		Seed:          *seed,
 		TraceCapacity: *traceCap,
+		Jobs:          *jobs,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	go srv.drive(*tick)
 
-	log.Printf("metricsd: %s on %s (latency target %.0f ms)", spec.Name, *addr, *latency)
+	if *jobs > 0 {
+		log.Printf("metricsd: fleet of %d %s jobs on %s", *jobs, spec.Name, *addr)
+	} else {
+		log.Printf("metricsd: %s on %s (latency target %.0f ms)", spec.Name, *addr, *latency)
+	}
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
 // drive advances the controller continuously, one MAPE step at a time,
-// pacing simulated seconds against wall time.
+// pacing simulated seconds against wall time. In fleet mode it advances
+// the whole fleet one round at a time instead.
 func (s *server) drive(tick time.Duration) {
+	if s.fleet != nil {
+		for {
+			before := s.fleet.Now()
+			s.fleet.Round()
+			time.Sleep(time.Duration(s.fleet.Now()-before) * tick)
+		}
+	}
 	for {
 		s.mu.Lock()
 		before := s.engine.Now()
@@ -196,6 +245,10 @@ type statusSnapshot struct {
 }
 
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		writeJSON(w, s.fleet.Snapshot())
+		return
+	}
 	s.mu.Lock()
 	m := s.engine.Measure()
 	snap := statusSnapshot{
@@ -217,15 +270,45 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleDecisions serves the controller's retained decision reports —
 // the full "why this configuration" record per replan/step, newest last.
-// ?n=K limits the response to the last K reports.
+// ?n=K limits the response to the last K reports. In fleet mode the job
+// is selected with ?job=NAME.
 func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	reports := s.ctl.Decisions()
-	s.mu.Unlock()
+	var reports []core.DecisionReport
+	if s.fleet != nil {
+		job := r.URL.Query().Get("job")
+		if job == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSON(w, struct {
+				Error string   `json:"error"`
+				Jobs  []string `json:"jobs"`
+			}{Error: "fleet mode: select a job with ?job=NAME", Jobs: s.fleet.JobNames()})
+			return
+		}
+		var err error
+		if reports, err = s.fleet.Decisions(job); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+	} else {
+		s.mu.Lock()
+		reports = s.ctl.Decisions()
+		s.mu.Unlock()
+	}
 	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && n < len(reports) {
 		reports = reports[len(reports)-n:]
 	}
 	writeJSON(w, reports)
+}
+
+// handleFleet serves the fleet snapshot: the shared clock, capacity
+// budget, every job's state (running / quarantined / drained, warm-start
+// provenance), and the shared model library's contents per signature.
+func (s *server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		http.Error(w, "fleet mode disabled (run with -jobs N)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.fleet.Snapshot())
 }
 
 // handleTrace serves the most recent spans from the ring buffer

@@ -235,3 +235,102 @@ func TestNewServerRejectsUnknownWorkload(t *testing.T) {
 		t.Fatal("unknown workload should error")
 	}
 }
+
+// Fleet mode: /debug/fleet serves the multi-job snapshot and
+// /debug/decisions requires (and honors) ?job=NAME.
+func TestFleetModeEndpoints(t *testing.T) {
+	srv, _, err := newServer(serverConfig{Workload: "wordcount", Seed: 7, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.fleet == nil {
+		t.Fatal("jobs > 0 should build a fleet server")
+	}
+	// Two rounds: the first triggers every job's initial planning session,
+	// the second publishes nothing new but exercises the barrier.
+	srv.fleet.Round()
+	srv.fleet.Round()
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var fleetSnap struct {
+		NowSec     float64 `json:"now_sec"`
+		TotalCores int     `json:"total_cores"`
+		UsedCores  int     `json:"used_cores"`
+		Jobs       []struct {
+			Name      string `json:"name"`
+			State     string `json:"state"`
+			Decisions int    `json:"decisions"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/debug/fleet"), &fleetSnap); err != nil {
+		t.Fatalf("decode /debug/fleet: %v", err)
+	}
+	if len(fleetSnap.Jobs) != 2 {
+		t.Fatalf("fleet snapshot lists %d jobs, want 2", len(fleetSnap.Jobs))
+	}
+	if fleetSnap.UsedCores != 64 || fleetSnap.TotalCores != 64 {
+		t.Fatalf("capacity %d/%d, want 64/64", fleetSnap.UsedCores, fleetSnap.TotalCores)
+	}
+	for _, j := range fleetSnap.Jobs {
+		if j.State != "running" {
+			t.Fatalf("job %s state = %s, want running", j.Name, j.State)
+		}
+		if j.Decisions == 0 {
+			t.Fatalf("job %s planned nothing after two rounds", j.Name)
+		}
+	}
+
+	// Per-job decisions require the job selector in fleet mode.
+	resp, err := http.Get(ts.URL + "/debug/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bare /debug/decisions in fleet mode: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "wordcount-01") {
+		t.Fatalf("fleet decisions error should list job names, got %s", body)
+	}
+	var reports []core.DecisionReport
+	if err := json.Unmarshal(get(t, ts, "/debug/decisions?job="+fleetSnap.Jobs[0].Name), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("per-job decisions endpoint returned nothing")
+	}
+	if resp, err := http.Get(ts.URL + "/debug/decisions?job=nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// /status serves the fleet snapshot too; /metrics carries the
+	// fleet-aggregate counters.
+	if body := string(get(t, ts, "/status")); !strings.Contains(body, "shared_models") {
+		t.Error("/status in fleet mode should serve the fleet snapshot")
+	}
+	if body := string(get(t, ts, "/metrics")); !strings.Contains(body, "autrascale_fleet_rounds_total") {
+		t.Error("/metrics missing fleet round counter")
+	}
+}
+
+// Outside fleet mode the fleet endpoint must say so rather than panic.
+func TestFleetEndpointDisabledInSingleJobMode(t *testing.T) {
+	srv := stepServer(t)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/fleet without -jobs: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,159 @@
+// Fleet scaling: run many AuTraScale jobs under one control plane and
+// watch cross-job transfer learning at work. Half the jobs are submitted
+// cold at t=0 and learn their configurations with Algorithm 1; the other
+// half join mid-run, warm-start from the fleet's shared model library,
+// and reach the Eq. 9 termination threshold in a fraction of the trials.
+//
+// With -verify the whole fleet is run twice from the same seed and the
+// per-job decision sequences are compared — the determinism contract the
+// fleet scheduler guarantees regardless of worker count (make fleet soaks
+// 64 jobs this way over a seed matrix, under the light chaos profile).
+//
+// Run with:
+//
+//	go run ./examples/fleet_scaling [-jobs 8] [-hours 2] [-seed 1]
+//	                                [-profile none|light|heavy] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"autrascale"
+)
+
+// jobTrace is one job's identity plus its flattened decision sequence —
+// everything two same-seed runs must agree on.
+type jobTrace struct {
+	name        string
+	state       string
+	warm        bool
+	firstTrials int // configurations the first planning session evaluated
+	decisions   []string
+}
+
+func runFleet(seed uint64, profile autrascale.ChaosProfile, jobs int, hours float64) []jobTrace {
+	store := autrascale.NewMetricsStore()
+	fl, err := autrascale.NewFleet(autrascale.FleetConfig{
+		TotalCores: jobs * 32, // staggered jobs default to 2 machines × 16 cores
+		Seed:       seed,
+		Chaos:      profile,
+		Store:      store,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := autrascale.StaggeredFleetJobs(autrascale.WordCount(), jobs, 0)
+	firstWave := (jobs + 1) / 2
+	for _, js := range specs[:firstWave] {
+		if err := fl.Submit(js); err != nil {
+			log.Fatal(err)
+		}
+	}
+	duration := hours * 3600
+	fl.RunUntil(duration / 2)
+	for _, js := range specs[firstWave:] {
+		if err := fl.Submit(js); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fl.RunUntil(duration)
+
+	st := fl.Snapshot()
+	traces := make([]jobTrace, 0, len(st.Jobs))
+	for _, js := range st.Jobs {
+		reports, err := fl.Decisions(js.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := jobTrace{name: js.Name, state: string(js.State), warm: js.WarmStarted}
+		for _, d := range reports {
+			tr.decisions = append(tr.decisions,
+				fmt.Sprintf("t=%.0f %s rate=%.0f chosen=%s met=%t trials=%d",
+					d.TimeSec, d.Action, d.RateRPS, d.Chosen.String(),
+					d.Met, d.Iterations+d.BootstrapRuns))
+		}
+		if len(reports) > 0 {
+			tr.firstTrials = reports[0].Iterations + reports[0].BootstrapRuns
+		}
+		traces = append(traces, tr)
+	}
+	return traces
+}
+
+func main() {
+	jobs := flag.Int("jobs", 8, "fleet size")
+	hours := flag.Float64("hours", 2, "simulated hours to run")
+	seed := flag.Uint64("seed", 1, "fleet seed (every job derives from it)")
+	profileName := flag.String("profile", "none", "fault profile: none | light | heavy")
+	verify := flag.Bool("verify", false, "run the fleet twice and require identical decisions")
+	flag.Parse()
+
+	profile, err := autrascale.ChaosProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	traces := runFleet(*seed, profile, *jobs, *hours)
+	coldTrials, warmTrials, coldN, warmN := 0, 0, 0, 0
+	for _, tr := range traces {
+		kind := "cold"
+		if tr.warm {
+			kind = "warm"
+		}
+		first := "(never planned)"
+		if len(tr.decisions) > 0 {
+			first = tr.decisions[0]
+		}
+		fmt.Printf("%-16s %-12s %-5s %s\n", tr.name, tr.state, kind, first)
+		if tr.warm {
+			warmTrials += tr.firstTrials
+			warmN++
+		} else {
+			coldTrials += tr.firstTrials
+			coldN++
+		}
+	}
+	if coldN > 0 && warmN > 0 {
+		fmt.Printf("\nfirst-plan cost: cold %.1f trials/job, warm %.1f trials/job\n",
+			float64(coldTrials)/float64(coldN), float64(warmTrials)/float64(warmN))
+	}
+
+	if *verify {
+		again := runFleet(*seed, profile, *jobs, *hours)
+		if err := compare(traces, again); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet_scaling: NOT deterministic: %v\n", err)
+			os.Exit(1)
+		}
+		total := 0
+		for _, tr := range traces {
+			total += len(tr.decisions)
+		}
+		fmt.Printf("verify: second same-seed run identical (%d jobs, %d decisions)\n",
+			len(traces), total)
+	}
+}
+
+func compare(a, b []jobTrace) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("job counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].name != b[i].name || a[i].state != b[i].state || a[i].warm != b[i].warm {
+			return fmt.Errorf("job %s header differs: %+v vs %+v", a[i].name, a[i], b[i])
+		}
+		if len(a[i].decisions) != len(b[i].decisions) {
+			return fmt.Errorf("job %s decision counts differ: %d vs %d",
+				a[i].name, len(a[i].decisions), len(b[i].decisions))
+		}
+		for k := range a[i].decisions {
+			if a[i].decisions[k] != b[i].decisions[k] {
+				return fmt.Errorf("job %s decision %d differs:\n  %s\n  %s",
+					a[i].name, k, a[i].decisions[k], b[i].decisions[k])
+			}
+		}
+	}
+	return nil
+}

@@ -48,6 +48,11 @@ type ControllerConfig struct {
 	Tracer *trace.Tracer
 	// DecisionHistory bounds the retained DecisionReports (default 128).
 	DecisionHistory int
+	// EventHistory bounds the retained Events the same way
+	// DecisionHistory bounds reports (default 512 — roughly 8.5 simulated
+	// hours of steady one-per-minute steps). Long fleet soaks would
+	// otherwise grow the event log without bound.
+	EventHistory int
 }
 
 func (c *ControllerConfig) defaults() error {
@@ -65,6 +70,9 @@ func (c *ControllerConfig) defaults() error {
 	}
 	if c.DecisionHistory <= 0 {
 		c.DecisionHistory = 128
+	}
+	if c.EventHistory <= 0 {
+		c.EventHistory = 512
 	}
 	return nil
 }
@@ -136,8 +144,19 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 // Library exposes the benefit-model library (for inspection/tests).
 func (c *Controller) Library() *transfer.ModelLibrary { return c.library }
 
-// Events returns the decision log.
+// Events returns the decision log, oldest first (bounded by
+// ControllerConfig.EventHistory).
 func (c *Controller) Events() []Event { return append([]Event(nil), c.events...) }
+
+// pushEvent retains ev, evicting the oldest entries beyond the
+// EventHistory cap.
+func (c *Controller) pushEvent(ev Event) {
+	c.events = append(c.events, ev)
+	if over := len(c.events) - c.cfg.EventHistory; over > 0 {
+		n := copy(c.events, c.events[over:])
+		c.events = c.events[:n]
+	}
+}
 
 // Decisions returns the retained decision reports, oldest first (bounded
 // by ControllerConfig.DecisionHistory).
@@ -289,7 +308,7 @@ func (c *Controller) Step() (Event, error) {
 		sp.SetStr("par", ev.Par.String())
 	}
 
-	c.events = append(c.events, ev)
+	c.pushEvent(ev)
 	return ev, nil
 }
 

@@ -132,6 +132,35 @@ func TestControllerRunUntil(t *testing.T) {
 	}
 }
 
+// The event log must stay bounded: a fleet soak steps controllers for
+// days of simulated time, and an unbounded append would leak memory.
+func TestControllerEventHistoryBounded(t *testing.T) {
+	e := controllerEngine(t, kafka.ConstantRate(1500))
+	ctl, err := NewController(e, ControllerConfig{TargetLatencyMS: 160, Seed: 5, EventHistory: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Event
+	for i := 0; i < 10; i++ {
+		if last, err = ctl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := ctl.Events()
+	if len(events) != 4 {
+		t.Fatalf("event log holds %d entries, want the 4 most recent", len(events))
+	}
+	if events[len(events)-1].TimeSec != last.TimeSec {
+		t.Fatal("cap evicted the newest event instead of the oldest")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i-1].TimeSec >= events[i].TimeSec {
+			t.Fatalf("events out of order after eviction: %v >= %v",
+				events[i-1].TimeSec, events[i].TimeSec)
+		}
+	}
+}
+
 // A restored library lets the very first rate-change planning use
 // transfer learning instead of learning from scratch.
 func TestControllerWithRestoredLibrary(t *testing.T) {

@@ -1,0 +1,704 @@
+// Package fleet is the multi-job control plane of the reproduction: it
+// runs N independent AuTraScale jobs — each its own flink.Engine plus
+// core.Controller — under one sharded scheduler, and shares their
+// transfer-learning model libraries so new jobs warm-start instead of
+// cold-starting Algorithm 1.
+//
+// The paper (§IV) plans one job at a time; a production controller
+// serves hundreds. The fleet layer adds exactly the machinery that step
+// needs and nothing else:
+//
+//   - A shared simulated clock advanced in rounds (Config.RoundSec). Each
+//     round, every running job whose engine lags the fleet clock is
+//     stepped until it catches up; jobs whose planning sessions burned
+//     hours of simulated time simply skip rounds until the clock passes
+//     them. A bounded worker pool shards the due jobs — engines are
+//     fully independent, so stepping them concurrently cannot change any
+//     job's decisions.
+//
+//   - Job lifecycle: Submit admits a job against the fleet's aggregate
+//     core budget (Config.TotalCores) and carves it a dedicated slice of
+//     capacity; Drain retires it gracefully (models published, capacity
+//     freed); Remove deletes it outright.
+//
+//   - Graceful degradation: a controller error quarantines that job at
+//     the next round barrier — the fleet keeps ticking everyone else.
+//
+//   - Cross-job warm start: at every round barrier each job's newly
+//     fitted benefit models are snapshotted into a fleet-level
+//     transfer.ModelLibrary keyed by workload signature. A submission
+//     whose signature already has models near its rate gets a private
+//     refit of the nearest one preloaded into its controller library, so
+//     its first planning session runs Algorithm 2 (transfer) instead of
+//     Algorithm 1 — "Learning from the Past" across jobs, not just
+//     rates.
+//
+// # Determinism
+//
+// Every stochastic choice derives from Config.Seed: per-job engine,
+// controller, and chaos-injector seeds are splitmix-derived from the
+// fleet seed and the job name, submissions are sequential, and model
+// publication happens at round barriers in submission order. Two fleets
+// built from the same configuration and submission sequence therefore
+// produce identical per-job decision sequences regardless of the worker
+// count — the fleet golden test locks this in.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"autrascale/internal/chaos"
+	"autrascale/internal/cluster"
+	"autrascale/internal/core"
+	"autrascale/internal/flink"
+	"autrascale/internal/kafka"
+	"autrascale/internal/metrics"
+	"autrascale/internal/trace"
+	"autrascale/internal/transfer"
+	"autrascale/internal/workloads"
+)
+
+// Sentinel errors of the job lifecycle.
+var (
+	// ErrAdmissionRejected marks a Submit that would exceed TotalCores.
+	ErrAdmissionRejected = errors.New("fleet: admission rejected")
+	// ErrDuplicateJob marks a Submit reusing a live job name.
+	ErrDuplicateJob = errors.New("fleet: duplicate job name")
+	// ErrUnknownJob marks an operation on a name the fleet does not hold.
+	ErrUnknownJob = errors.New("fleet: unknown job")
+)
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// TotalCores is the aggregate capacity budget admissions are checked
+	// against (required). Each admitted job holds its declared cores
+	// until it is drained or removed.
+	TotalCores int
+	// Workers bounds the scheduler's worker pool (default
+	// min(8, GOMAXPROCS)). The worker count never affects decisions,
+	// only wall-clock speed.
+	Workers int
+	// RoundSec is the shared-clock advance per Round (default 60 — one
+	// policy interval).
+	RoundSec float64
+	// Seed is the fleet seed; per-job engine/controller/chaos seeds are
+	// derived from it and the job name.
+	Seed uint64
+	// Chaos, when enabled, gives every job its own injector for this
+	// profile, seeded from the fleet seed (schedules compose per job
+	// without perturbing each other).
+	Chaos chaos.Profile
+	// Store receives per-job series plus the fleet-aggregate counters
+	// and histograms (optional).
+	Store *metrics.Store
+	// Tracer records fleet.tick / fleet.admit / fleet.warmstart spans and
+	// is threaded into every job's engine and controller (optional).
+	Tracer *trace.Tracer
+}
+
+func (c *Config) defaults() error {
+	if c.TotalCores <= 0 {
+		return errors.New("fleet: TotalCores must be > 0")
+	}
+	if c.Workers <= 0 {
+		c.Workers = min(8, runtime.GOMAXPROCS(0))
+	}
+	if c.RoundSec <= 0 {
+		c.RoundSec = 60
+	}
+	return nil
+}
+
+// JobSpec describes one job submission.
+type JobSpec struct {
+	// Name identifies the job (metrics tag, lifecycle handle). Required,
+	// unique among live jobs.
+	Name string
+	// Workload is the benchmark the job runs.
+	Workload workloads.Spec
+	// Schedule overrides the input-rate schedule (default: constant
+	// RateRPS).
+	Schedule kafka.RateSchedule
+	// RateRPS is the constant input rate when Schedule is nil (default:
+	// the workload's).
+	RateRPS float64
+	// TargetLatencyMS is the QoS target (default: the workload's).
+	TargetLatencyMS float64
+	// Machines and CoresPerMachine size the job's dedicated capacity
+	// slice (defaults 2 × 16); Machines × CoresPerMachine is the demand
+	// admission checks against TotalCores.
+	Machines        int
+	CoresPerMachine int
+	// MemPerMachineMB sizes each machine's memory (default 65536).
+	MemPerMachineMB int
+	// MaxIterations bounds each BO planning session (default 10 — fleet
+	// jobs should not monopolize simulated time).
+	MaxIterations int
+	// Signature keys the fleet's shared model library: jobs with equal
+	// signatures exchange benefit models (default: the workload name).
+	Signature string
+}
+
+func (s *JobSpec) defaults() error {
+	if s.Name == "" {
+		return errors.New("fleet: job needs a name")
+	}
+	if s.Workload.BuildGraph == nil {
+		return fmt.Errorf("fleet: job %q has no workload graph", s.Name)
+	}
+	if s.RateRPS <= 0 {
+		s.RateRPS = s.Workload.DefaultRateRPS
+	}
+	if s.Schedule == nil {
+		s.Schedule = kafka.ConstantRate(s.RateRPS)
+	}
+	if s.TargetLatencyMS <= 0 {
+		s.TargetLatencyMS = s.Workload.TargetLatencyMS
+	}
+	if s.Machines <= 0 {
+		s.Machines = 2
+	}
+	if s.CoresPerMachine <= 0 {
+		s.CoresPerMachine = 16
+	}
+	if s.MemPerMachineMB <= 0 {
+		s.MemPerMachineMB = 65536
+	}
+	if s.MaxIterations <= 0 {
+		s.MaxIterations = 10
+	}
+	if s.Signature == "" {
+		s.Signature = s.Workload.Name
+	}
+	return nil
+}
+
+// cores is the capacity demand admission checks.
+func (s *JobSpec) cores() int { return s.Machines * s.CoresPerMachine }
+
+// initialRate is the rate the warm-start lookup targets: what the job
+// will observe when it starts.
+func (s *JobSpec) initialRate() float64 {
+	if r := s.Schedule.RateAt(0); r > 0 {
+		return r
+	}
+	return s.RateRPS
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states.
+const (
+	// StateRunning jobs are stepped every round.
+	StateRunning State = "running"
+	// StateQuarantined jobs hit a controller error: they stop being
+	// stepped but keep their capacity and state for inspection until
+	// drained or removed. The fleet itself keeps running.
+	StateQuarantined State = "quarantined"
+	// StateDrained jobs were retired gracefully: models published,
+	// capacity freed, engine kept for inspection.
+	StateDrained State = "drained"
+)
+
+// job is the fleet's per-job bookkeeping.
+type job struct {
+	spec   JobSpec
+	seed   uint64
+	engine *flink.Engine
+	ctl    *core.Controller
+	state  State
+	err    error
+
+	offsetSec float64 // fleet clock at submission; the job's time origin
+	steps     int     // MAPE steps taken
+
+	warmStarted    bool
+	warmSourceRate float64
+	published      map[float64]bool // rates already in the shared library
+}
+
+// Fleet runs many jobs under one sharded scheduler. All methods are safe
+// for concurrent use; Round holds the fleet lock for the whole round, so
+// observers (metricsd handlers) see consistent barriers.
+type Fleet struct {
+	cfg Config
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order: the deterministic barrier order
+	usedCores int
+	nowSec    float64
+	rounds    int
+	// shared maps workload signature → the fleet-level model library new
+	// submissions warm-start from.
+	shared map[string]*transfer.ModelLibrary
+}
+
+// New validates the configuration and builds an empty fleet.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Fleet{
+		cfg:    cfg,
+		jobs:   map[string]*job{},
+		shared: map[string]*transfer.ModelLibrary{},
+	}, nil
+}
+
+// deriveSeed mixes the fleet seed with a job name (FNV-1a, then a
+// splitmix64 finalizer) so every job gets an independent, reproducible
+// random stream.
+func deriveSeed(fleetSeed uint64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := h ^ fleetSeed
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// counter increments a fleet-aggregate counter when a store is attached.
+func (f *Fleet) counter(name string) {
+	if f.cfg.Store != nil {
+		f.cfg.Store.Counter(name, nil).Inc()
+	}
+}
+
+// Now returns the fleet's shared simulated clock.
+func (f *Fleet) Now() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nowSec
+}
+
+// Submit admits a job: capacity check, dedicated cluster, derived seeds,
+// warm start from the shared model library when a signature match
+// exists. The job starts participating at the next Round.
+func (f *Fleet) Submit(spec JobSpec) error {
+	if err := spec.defaults(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	sp := f.cfg.Tracer.StartSpan("fleet.admit")
+	defer sp.End()
+	if f.cfg.Tracer.Enabled() {
+		sp.SetFloat("t_sec", f.nowSec)
+		sp.SetStr("job", spec.Name)
+		sp.SetStr("signature", spec.Signature)
+		sp.SetInt("cores_demand", spec.cores())
+		sp.SetInt("cores_used", f.usedCores)
+		sp.SetInt("cores_total", f.cfg.TotalCores)
+	}
+
+	if _, exists := f.jobs[spec.Name]; exists {
+		sp.SetBool("granted", false)
+		return fmt.Errorf("%w: %q", ErrDuplicateJob, spec.Name)
+	}
+	if f.usedCores+spec.cores() > f.cfg.TotalCores {
+		sp.SetBool("granted", false)
+		f.counter("autrascale.fleet.jobs_rejected")
+		return fmt.Errorf("%w: job %q needs %d cores, %d of %d in use",
+			ErrAdmissionRejected, spec.Name, spec.cores(), f.usedCores, f.cfg.TotalCores)
+	}
+
+	machines := make([]cluster.Machine, spec.Machines)
+	for i := range machines {
+		machines[i] = cluster.Machine{
+			Name:  fmt.Sprintf("%s-m%d", spec.Name, i+1),
+			Cores: spec.CoresPerMachine,
+			MemMB: spec.MemPerMachineMB,
+		}
+	}
+	cl, err := cluster.New(cluster.Config{Machines: machines})
+	if err != nil {
+		return err
+	}
+
+	seed := deriveSeed(f.cfg.Seed, spec.Name)
+	var injector *chaos.Injector
+	if f.cfg.Chaos.Enabled() {
+		injector = chaos.New(f.cfg.Chaos, seed)
+	}
+
+	lib, warmRate, warm := f.warmStartLibrary(spec)
+
+	engine, err := workloads.NewEngine(spec.Workload, workloads.EngineOptions{
+		JobName:  spec.Name,
+		Schedule: spec.Schedule,
+		Seed:     seed,
+		Cluster:  cl,
+		Store:    f.cfg.Store,
+		Tracer:   f.cfg.Tracer,
+		Chaos:    injector,
+	})
+	if err != nil {
+		return err
+	}
+	ctl, err := core.NewController(engine, core.ControllerConfig{
+		TargetLatencyMS: spec.TargetLatencyMS,
+		MaxIterations:   spec.MaxIterations,
+		Seed:            seed,
+		Library:         lib,
+		Tracer:          f.cfg.Tracer,
+	})
+	if err != nil {
+		return err
+	}
+
+	j := &job{
+		spec:           spec,
+		seed:           seed,
+		engine:         engine,
+		ctl:            ctl,
+		state:          StateRunning,
+		offsetSec:      f.nowSec,
+		warmStarted:    warm,
+		warmSourceRate: warmRate,
+		published:      map[float64]bool{},
+	}
+	if warm {
+		// The preloaded model is already in the shared library — do not
+		// publish it back at the next barrier.
+		j.published[warmRate] = true
+	}
+	f.jobs[spec.Name] = j
+	f.order = append(f.order, spec.Name)
+	f.usedCores += spec.cores()
+	f.counter("autrascale.fleet.jobs_submitted")
+	sp.SetBool("granted", true)
+	sp.SetBool("warm_started", warm)
+	return nil
+}
+
+// warmStartLibrary builds the controller library a submission starts
+// with: empty for a cold start, or preloaded with a private refit of the
+// nearest same-signature model from the shared library. The refit keeps
+// jobs from sharing mutable GP state.
+func (f *Fleet) warmStartLibrary(spec JobSpec) (lib *transfer.ModelLibrary, rate float64, ok bool) {
+	lib = transfer.NewModelLibrary()
+	shared := f.shared[spec.Signature]
+	if shared == nil || shared.Len() == 0 {
+		return lib, 0, false
+	}
+	sp := f.cfg.Tracer.StartSpan("fleet.warmstart")
+	defer sp.End()
+	entry, found := shared.Nearest(spec.initialRate())
+	if f.cfg.Tracer.Enabled() {
+		sp.SetFloat("t_sec", f.nowSec)
+		sp.SetStr("job", spec.Name)
+		sp.SetStr("signature", spec.Signature)
+		sp.SetFloat("target_rate", spec.initialRate())
+		sp.SetInt("library_models", shared.Len())
+	}
+	if !found {
+		sp.SetBool("ok", false)
+		return lib, 0, false
+	}
+	snap, err := refitSnapshot(entry.Model)
+	if err != nil {
+		sp.SetBool("ok", false)
+		return lib, 0, false
+	}
+	if err := lib.Put(entry.RateRPS, snap); err != nil {
+		sp.SetBool("ok", false)
+		return lib, 0, false
+	}
+	if f.cfg.Tracer.Enabled() {
+		sp.SetFloat("source_rate", entry.RateRPS)
+		sp.SetBool("ok", true)
+	}
+	f.counter("autrascale.fleet.warmstarts")
+	return lib, entry.RateRPS, true
+}
+
+// refitSnapshot rebuilds a model from its training data so the caller
+// owns an independent copy.
+func refitSnapshot(m transfer.Predictor) (*transfer.Snapshot, error) {
+	td, ok := m.(transfer.TrainingData)
+	if !ok {
+		return nil, errors.New("fleet: model exposes no training data")
+	}
+	return transfer.NewSnapshot(td.TrainingData())
+}
+
+// Drain retires a job gracefully: its benefit models are published to
+// the shared library (unless it is quarantined — a broken controller's
+// models are not trusted), its capacity is freed, and it stops being
+// stepped. The job remains inspectable until Remove.
+func (f *Fleet) Drain(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if j.state == StateDrained {
+		return nil
+	}
+	if j.state == StateRunning {
+		f.publishModels(j)
+	}
+	f.usedCores -= j.spec.cores()
+	j.state = StateDrained
+	f.counter("autrascale.fleet.jobs_drained")
+	return nil
+}
+
+// Remove deletes a job outright, freeing its capacity. Unlike Drain it
+// publishes nothing.
+func (f *Fleet) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	if j.state != StateDrained {
+		f.usedCores -= j.spec.cores()
+	}
+	delete(f.jobs, name)
+	for i, n := range f.order {
+		if n == name {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	f.counter("autrascale.fleet.jobs_removed")
+	return nil
+}
+
+// Instrument bucket layout for the per-round step-count histogram.
+var roundStepBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Round advances the shared clock by RoundSec and steps every running
+// job whose engine lags it, sharding the work across the bounded worker
+// pool. At the barrier it quarantines jobs whose controllers errored and
+// publishes newly fitted models to the shared library in submission
+// order (the deterministic part — stepping order never matters because
+// jobs share no mutable state).
+func (f *Fleet) Round() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	f.nowSec += f.cfg.RoundSec
+	f.rounds++
+	sp := f.cfg.Tracer.StartSpan("fleet.tick")
+	defer sp.End()
+
+	var due []*job
+	for _, name := range f.order {
+		j := f.jobs[name]
+		if j.state == StateRunning && j.engine.Now() < f.nowSec-j.offsetSec {
+			due = append(due, j)
+		}
+	}
+
+	stepsBefore := 0
+	for _, j := range due {
+		stepsBefore += j.steps
+	}
+
+	// Shard the due jobs across the pool. Each job is owned by exactly
+	// one worker for the round; engines are independent, so no two
+	// goroutines ever touch the same mutable state.
+	workers := min(f.cfg.Workers, len(due))
+	if workers > 0 {
+		ch := make(chan *job)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					f.stepJob(j)
+				}
+			}()
+		}
+		for _, j := range due {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	// Barrier: quarantine errored jobs, then publish fresh models, both
+	// in submission order so the shared library's evolution (and thus
+	// every later warm start) is reproducible.
+	quarantined := 0
+	for _, name := range f.order {
+		j := f.jobs[name]
+		if j.state != StateRunning {
+			continue
+		}
+		if j.err != nil {
+			j.state = StateQuarantined
+			quarantined++
+			f.counter("autrascale.fleet.jobs_quarantined")
+			if f.cfg.Tracer.Enabled() {
+				qsp := f.cfg.Tracer.StartSpan("fleet.quarantine")
+				qsp.SetFloat("t_sec", f.nowSec)
+				qsp.SetStr("job", name)
+				qsp.SetStr("error", j.err.Error())
+				qsp.End()
+			}
+			continue
+		}
+		f.publishModels(j)
+	}
+
+	stepsAfter := 0
+	for _, j := range due {
+		stepsAfter += j.steps
+	}
+	f.counter("autrascale.fleet.rounds")
+	if f.cfg.Store != nil {
+		f.cfg.Store.Counter("autrascale.fleet.steps", nil).Add(float64(stepsAfter - stepsBefore))
+		f.cfg.Store.Histogram("autrascale.fleet.round.jobs_stepped", nil, roundStepBuckets).
+			Observe(float64(len(due)))
+	}
+	if f.cfg.Tracer.Enabled() {
+		sp.SetFloat("t_sec", f.nowSec)
+		sp.SetInt("jobs", len(f.order))
+		sp.SetInt("due", len(due))
+		sp.SetInt("steps", stepsAfter-stepsBefore)
+		sp.SetInt("quarantined", quarantined)
+	}
+}
+
+// stepJob advances one job until its engine catches up with the fleet
+// clock (relative to its submission time). Runs on a pool worker; only
+// this goroutine touches the job during the round.
+func (f *Fleet) stepJob(j *job) {
+	target := f.nowSec - j.offsetSec
+	for j.engine.Now() < target {
+		if _, err := j.ctl.Step(); err != nil {
+			j.err = err
+			return
+		}
+		j.steps++
+	}
+}
+
+// publishModels snapshots the job's newly fitted benefit models into the
+// fleet's shared library for its signature. Called under the fleet lock,
+// in submission order.
+func (f *Fleet) publishModels(j *job) {
+	for _, rate := range j.ctl.Library().Rates() {
+		if j.published[rate] {
+			continue
+		}
+		j.published[rate] = true // never retried: a failed refit stays failed
+		model, ok := j.ctl.Library().Get(rate)
+		if !ok {
+			continue
+		}
+		snap, err := refitSnapshot(model)
+		if err != nil {
+			continue
+		}
+		lib := f.shared[j.spec.Signature]
+		if lib == nil {
+			lib = transfer.NewModelLibrary()
+			f.shared[j.spec.Signature] = lib
+		}
+		if err := lib.Put(rate, snap); err != nil {
+			continue
+		}
+		f.counter("autrascale.fleet.models_published")
+	}
+}
+
+// RunUntil advances rounds until the shared clock reaches untilSec.
+func (f *Fleet) RunUntil(untilSec float64) {
+	for f.Now() < untilSec {
+		f.Round()
+	}
+}
+
+// Decisions returns a job's retained decision reports (oldest first).
+func (f *Fleet) Decisions(name string) ([]core.DecisionReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	return j.ctl.Decisions(), nil
+}
+
+// Events returns a job's controller event log (oldest first).
+func (f *Fleet) Events(name string) ([]core.Event, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, name)
+	}
+	return j.ctl.Events(), nil
+}
+
+// JobNames lists live jobs in submission order.
+func (f *Fleet) JobNames() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// SharedModelRates reports the shared library contents: signature → the
+// rates models exist for (sorted), for observability endpoints.
+func (f *Fleet) SharedModelRates() map[string][]float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]float64, len(f.shared))
+	for sig, lib := range f.shared {
+		out[sig] = lib.Rates()
+	}
+	return out
+}
+
+// StaggeredJobs builds n copies of a workload with input rates spread
+// ±15% around baseRate (the workload default when baseRate <= 0), named
+// <workload>-01..n — the canonical multi-job setup the commands and
+// examples use. Staggering matters: identical rates would make every
+// warm start an exact-rate hit, hiding the nearest-model transfer path.
+func StaggeredJobs(spec workloads.Spec, n int, baseRate float64) []JobSpec {
+	if baseRate <= 0 {
+		baseRate = spec.DefaultRateRPS
+	}
+	jobs := make([]JobSpec, n)
+	for i := range jobs {
+		factor := 1.0
+		if n > 1 {
+			factor = 0.85 + 0.30*float64(i)/float64(n-1)
+		}
+		jobs[i] = JobSpec{
+			Name:     fmt.Sprintf("%s-%02d", spec.Name, i+1),
+			Workload: spec,
+			RateRPS:  baseRate * factor,
+		}
+	}
+	return jobs
+}
+
+// sortedSignatures returns the shared library's signatures in sorted
+// order (deterministic rendering).
+func sortedSignatures(m map[string][]float64) []string {
+	sigs := make([]string, 0, len(m))
+	for s := range m {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	return sigs
+}

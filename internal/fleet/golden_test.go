@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenDecision mirrors the core package's golden subset: the stable
+// decision fields, without raw scores that would pick up float noise in
+// the diff.
+type goldenDecision struct {
+	TimeSec       float64 `json:"time_sec"`
+	Action        string  `json:"action"`
+	Reason        string  `json:"reason"`
+	RateRPS       float64 `json:"rate_rps"`
+	Chosen        string  `json:"chosen"`
+	Met           bool    `json:"met"`
+	Iterations    int     `json:"bo_iterations"`
+	BootstrapRuns int     `json:"bootstrap_runs"`
+	SwitchedToA1  bool    `json:"switched_to_a1,omitempty"`
+}
+
+type goldenJob struct {
+	Name           string           `json:"name"`
+	WarmStarted    bool             `json:"warm_started"`
+	WarmSourceRate float64          `json:"warm_source_rate,omitempty"`
+	Decisions      []goldenDecision `json:"decisions"`
+}
+
+// goldenFleet runs the reference scenario: four cold jobs planned from
+// scratch, then four same-signature jobs submitted mid-flight that must
+// warm-start from the fleet's shared model library.
+func goldenFleet(t testing.TB, workers int) []goldenJob {
+	f, err := New(Config{TotalCores: 512, Workers: workers, Seed: 20240601})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRates := []float64{1400, 1600, 1800, 2000}
+	for i, r := range coldRates {
+		if err := f.Submit(testJob(t, "cold-"+string(rune('0'+i)), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Long enough for every cold job's first planning session to finish
+	// and publish its model.
+	f.RunUntil(7200)
+	warmRates := []float64{1500, 1700, 1900, 2100}
+	for i, r := range warmRates {
+		if err := f.Submit(testJob(t, "warm-"+string(rune('0'+i)), r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.RunUntil(14400)
+
+	var out []goldenJob
+	st := f.Snapshot()
+	for _, js := range st.Jobs {
+		decisions, err := f.Decisions(js.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj := goldenJob{Name: js.Name, WarmStarted: js.WarmStarted, WarmSourceRate: js.WarmSourceRate}
+		for _, d := range decisions {
+			gj.Decisions = append(gj.Decisions, goldenDecision{
+				TimeSec:       d.TimeSec,
+				Action:        string(d.Action),
+				Reason:        d.Reason,
+				RateRPS:       d.RateRPS,
+				Chosen:        d.Chosen.String(),
+				Met:           d.Met,
+				Iterations:    d.Iterations,
+				BootstrapRuns: d.BootstrapRuns,
+				SwitchedToA1:  d.SwitchedToA1,
+			})
+		}
+		out = append(out, gj)
+	}
+	return out
+}
+
+// The fleet golden-trace regression: the same-seed 8-job scenario must
+// keep producing the per-job decision sequences checked into testdata —
+// run twice with different worker counts to prove scheduling cannot
+// perturb them. It also locks in the tentpole's headline property: every
+// warm-started job reaches the Eq. 9 termination threshold in fewer BO
+// runs than its cold-started donor. Intentional behavior changes are
+// blessed with `go test ./internal/fleet -run Golden -update`.
+func TestGoldenTraceFleet(t *testing.T) {
+	got := goldenFleet(t, 4)
+	again := goldenFleet(t, 1)
+	if !reflect.DeepEqual(got, again) {
+		t.Fatal("same-seed fleet runs diverged across worker counts")
+	}
+
+	// Warm-start effectiveness (the acceptance criterion): each warm job's
+	// first planning session must be Algorithm 2, succeed, and cost fewer
+	// BO runs than the cold first sessions did.
+	maxWarm, minCold := 0, int(^uint(0)>>1)
+	for _, j := range got {
+		if len(j.Decisions) == 0 {
+			t.Fatalf("%s never planned", j.Name)
+		}
+		first := j.Decisions[0]
+		runs := first.Iterations + first.BootstrapRuns
+		if j.WarmStarted {
+			if first.Action != "algorithm2" {
+				t.Fatalf("%s warm-started but first action = %s (%s)", j.Name, first.Action, first.Reason)
+			}
+			if !first.Met {
+				t.Fatalf("%s transfer plan missed the Eq. 9 threshold", j.Name)
+			}
+			maxWarm = max(maxWarm, runs)
+		} else {
+			if first.Action != "algorithm1" {
+				t.Fatalf("%s cold-started but first action = %s", j.Name, first.Action)
+			}
+			minCold = min(minCold, runs)
+		}
+	}
+	if maxWarm >= minCold {
+		t.Fatalf("warm starts ran up to %d configurations, cold starts at least %d — transfer saved nothing",
+			maxWarm, minCold)
+	}
+
+	path := filepath.Join("testdata", "fleet_golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace rewritten: %s (%d jobs)", path, len(got))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenJob
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("job count drifted: got %d, golden has %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			g, _ := json.Marshal(got[i])
+			w, _ := json.Marshal(want[i])
+			t.Errorf("job %s drifted from golden:\n got  %s\n want %s", want[i].Name, g, w)
+		}
+	}
+	if t.Failed() {
+		t.Log("if the change is intentional, regenerate with: go test ./internal/fleet -run Golden -update")
+	}
+}

@@ -1,0 +1,86 @@
+package fleet
+
+// Status is a consistent point-in-time view of the fleet, rendered by
+// the /debug/fleet endpoint and the CLI fleet mode.
+type Status struct {
+	NowSec     float64     `json:"now_sec"`
+	Rounds     int         `json:"rounds"`
+	TotalCores int         `json:"total_cores"`
+	UsedCores  int         `json:"used_cores"`
+	Workers    int         `json:"workers"`
+	Seed       uint64      `json:"seed"`
+	Chaos      string      `json:"chaos_profile"`
+	Jobs       []JobStatus `json:"jobs"`
+	// SharedModels maps workload signature → rates (RPS) the fleet
+	// library holds models for. Signature order in JSON follows
+	// SharedSignatures.
+	SharedModels     map[string][]float64 `json:"shared_models"`
+	SharedSignatures []string             `json:"shared_signatures"`
+}
+
+// JobStatus summarizes one job for observers.
+type JobStatus struct {
+	Name           string  `json:"name"`
+	State          State   `json:"state"`
+	Workload       string  `json:"workload"`
+	Signature      string  `json:"signature"`
+	Cores          int     `json:"cores"`
+	Seed           uint64  `json:"seed"`
+	SubmittedAtSec float64 `json:"submitted_at_sec"`
+	SimulatedSec   float64 `json:"simulated_sec"`
+	Steps          int     `json:"steps"`
+	Decisions      int     `json:"decisions"`
+	Parallelism    int     `json:"parallelism_total"`
+	Restarts       int     `json:"restarts"`
+	LagRecords     float64 `json:"lag_records"`
+	WarmStarted    bool    `json:"warm_started"`
+	WarmSourceRate float64 `json:"warm_source_rate,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// Snapshot captures the fleet's current state. Safe to call while
+// rounds run — it takes the fleet lock, so it always observes a round
+// boundary.
+func (f *Fleet) Snapshot() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		NowSec:       f.nowSec,
+		Rounds:       f.rounds,
+		TotalCores:   f.cfg.TotalCores,
+		UsedCores:    f.usedCores,
+		Workers:      f.cfg.Workers,
+		Seed:         f.cfg.Seed,
+		Chaos:        f.cfg.Chaos.Name,
+		SharedModels: make(map[string][]float64, len(f.shared)),
+	}
+	for sig, lib := range f.shared {
+		st.SharedModels[sig] = lib.Rates()
+	}
+	st.SharedSignatures = sortedSignatures(st.SharedModels)
+	for _, name := range f.order {
+		j := f.jobs[name]
+		js := JobStatus{
+			Name:           j.spec.Name,
+			State:          j.state,
+			Workload:       j.spec.Workload.Name,
+			Signature:      j.spec.Signature,
+			Cores:          j.spec.cores(),
+			Seed:           j.seed,
+			SubmittedAtSec: j.offsetSec,
+			SimulatedSec:   j.engine.Now(),
+			Steps:          j.steps,
+			Decisions:      len(j.ctl.Decisions()),
+			Parallelism:    j.engine.Parallelism().Total(),
+			Restarts:       j.engine.Restarts(),
+			LagRecords:     j.engine.Topic().Lag(),
+			WarmStarted:    j.warmStarted,
+			WarmSourceRate: j.warmSourceRate,
+		}
+		if j.err != nil {
+			js.Error = j.err.Error()
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}

@@ -69,6 +69,9 @@ func (s *Snapshot) TrainingData() ([][]float64, []float64) { return s.xs, s.ys }
 // returned value.
 func (l *ModelLibrary) Save(w io.Writer) (skipped int, err error) {
 	doc := libraryDoc{Version: 1}
+	// Collect the persistable training sets under the read lock, but keep
+	// the (potentially slow) writer outside the critical section.
+	l.mu.RLock()
 	for _, e := range l.entries {
 		td, ok := e.Model.(TrainingData)
 		if !ok {
@@ -78,6 +81,7 @@ func (l *ModelLibrary) Save(w io.Writer) (skipped int, err error) {
 		xs, ys := td.TrainingData()
 		doc.Models = append(doc.Models, modelDoc{RateRPS: e.RateRPS, Inputs: xs, Targets: ys})
 	}
+	l.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return skipped, enc.Encode(doc)

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"autrascale/internal/gp"
 )
@@ -78,8 +79,14 @@ type Entry struct {
 }
 
 // ModelLibrary is the Plan stage's model store (§IV): benefit models keyed
-// by the input data rate they were trained at.
+// by the input data rate they were trained at. It is safe for concurrent
+// use — a fleet of controllers shares one library, publishing models from
+// worker goroutines while submissions read it for warm starts. The stored
+// Predictor values themselves are not synchronized by the library;
+// callers that share a model across jobs must hand each job its own copy
+// (e.g. refit from TrainingData).
 type ModelLibrary struct {
+	mu      sync.RWMutex
 	entries []Entry
 }
 
@@ -94,6 +101,8 @@ func (l *ModelLibrary) Put(rateRPS float64, model Predictor) error {
 	if model == nil {
 		return errors.New("transfer: nil model")
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for i := range l.entries {
 		if l.entries[i].RateRPS == rateRPS {
 			l.entries[i].Model = model
@@ -106,10 +115,16 @@ func (l *ModelLibrary) Put(rateRPS float64, model Predictor) error {
 }
 
 // Len returns the number of stored models.
-func (l *ModelLibrary) Len() int { return len(l.entries) }
+func (l *ModelLibrary) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
 
 // Get returns the model trained exactly at rateRPS.
 func (l *ModelLibrary) Get(rateRPS float64) (Predictor, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	for _, e := range l.entries {
 		if e.RateRPS == rateRPS {
 			return e.Model, true
@@ -121,6 +136,8 @@ func (l *ModelLibrary) Get(rateRPS float64) (Predictor, bool) {
 // Nearest returns the stored model whose rate is closest to rateRPS
 // (Algorithm 2's M_{c−1}); ok is false when the library is empty.
 func (l *ModelLibrary) Nearest(rateRPS float64) (Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if len(l.entries) == 0 {
 		return Entry{}, false
 	}
@@ -136,6 +153,8 @@ func (l *ModelLibrary) Nearest(rateRPS float64) (Entry, bool) {
 
 // Rates lists the stored rates in ascending order.
 func (l *ModelLibrary) Rates() []float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]float64, len(l.entries))
 	for i, e := range l.entries {
 		out[i] = e.RateRPS

@@ -228,6 +228,10 @@ func All() []Spec {
 
 // EngineOptions customizes NewEngine.
 type EngineOptions struct {
+	// JobName overrides the metrics/trace job tag (default: the workload
+	// name). A fleet runs many jobs of the same workload against one
+	// store, so each needs a distinct tag.
+	JobName string
 	// Schedule overrides the constant DefaultRateRPS producer.
 	Schedule kafka.RateSchedule
 	// InitialParallelism defaults to all-1 (the paper's §V-B starting
@@ -272,6 +276,7 @@ func NewEngine(spec Spec, opts EngineOptions) (*flink.Engine, error) {
 		Graph:              spec.BuildGraph(),
 		Cluster:            cl,
 		Topic:              topic,
+		JobName:            opts.JobName,
 		Store:              opts.Store,
 		Seed:               opts.Seed,
 		NoNoise:            opts.NoNoise,
