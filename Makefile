@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp chaos fleet check experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp profile chaos fleet check experiments summary fmt vet clean
 
 all: build test
 
@@ -28,10 +28,21 @@ bench:
 # pinned at 0 allocs so tracing can never leak into the disabled hot
 # path). Refresh the baseline after a deliberate change with:
 #   make benchcmp BENCHCMP_FLAGS=-update
-BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
+
+# CPU and heap profiles of the fleet hot path (override PROFILE_BENCH to
+# profile something else): writes fleet_cpu.prof / fleet_mem.prof and
+# prints each profile's top-10 — the first stop when a benchcmp gate
+# trips (docs/fleet.md).
+PROFILE_BENCH = BenchmarkFleetTick10k$$
+profile:
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchtime 500x \
+		-cpuprofile fleet_cpu.prof -memprofile fleet_mem.prof .
+	$(GO) tool pprof -top -nodecount 10 fleet_cpu.prof
+	$(GO) tool pprof -top -nodecount 10 -sample_index=alloc_space fleet_mem.prof
 
 # Chaos gate: the fault-injection, property/metamorphic, and golden-trace
 # layers (docs/chaos.md), then a short controller soak under the heavy
@@ -81,4 +92,4 @@ vet:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt fleet_cpu.prof fleet_mem.prof autrascale.test

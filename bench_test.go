@@ -11,6 +11,7 @@
 package autrascale_test
 
 import (
+	"sync"
 	"testing"
 
 	"autrascale/internal/bo"
@@ -21,6 +22,7 @@ import (
 	"autrascale/internal/mat"
 	"autrascale/internal/stat"
 	"autrascale/internal/trace"
+	"autrascale/internal/transfer"
 	"autrascale/internal/workloads"
 )
 
@@ -395,6 +397,119 @@ func BenchmarkFleetTick(b *testing.B) {
 	for _, j := range fl.Snapshot().Jobs {
 		if j.State != fleet.StateRunning {
 			b.Fatalf("job %s left running state: %s (%s)", j.Name, j.State, j.Error)
+		}
+	}
+}
+
+// fleet10k lazily builds and warms the 10,000-job fleet shared by every
+// BenchmarkFleetTick10k iteration (and every -count repetition in the
+// same process); construction simulates a few hundred seconds of fleet
+// time, so it runs once.
+var fleet10k struct {
+	once sync.Once
+	fl   *fleet.Fleet
+	err  error
+}
+
+func fleet10kSetup() (*fleet.Fleet, error) {
+	const (
+		jobs = 10000
+		// One tick is 1% of the 60 s policy interval, so in steady state
+		// ~1% of jobs fall due per tick — the idle-heavy regime the timer
+		// wheel exists for (the legacy scan paid O(jobs) per tick here).
+		roundSec = 0.6
+		donors   = 16
+	)
+	fl, err := fleet.New(fleet.Config{
+		TotalCores: jobs*32 + 1024,
+		RoundSec:   roundSec,
+		Seed:       11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs := fleet.StaggeredJobs(workloads.WordCount(), jobs, 0)
+	// A handful of cold donors run full planning sessions and publish
+	// their benefit models, so the other 99.8% of submissions warm-start
+	// with short sessions instead of 10k full Algorithm 1 runs.
+	for _, js := range specs[:donors] {
+		if err := fl.Submit(js); err != nil {
+			return nil, err
+		}
+	}
+	fl.RunUntil(1800)
+	// Submit the bulk in batches with rounds in between: each batch gets
+	// a different submission offset, spreading due times across ticks
+	// instead of synchronizing all 10k jobs onto the same round.
+	for i := donors; i < len(specs); {
+		end := min(i+100, len(specs))
+		for _, js := range specs[i:end] {
+			if err := fl.Submit(js); err != nil {
+				return nil, err
+			}
+		}
+		i = end
+		fl.Round()
+	}
+	// Run everyone past their (warm-started) planning session so timed
+	// ticks measure steady-state monitoring, not planning.
+	fl.RunUntil(fl.Now() + 600)
+	return fl, nil
+}
+
+// BenchmarkFleetTick10k measures one scheduler round of a 10,000-job
+// fleet in the idle-heavy steady state: the tick is 1% of the policy
+// interval, so ~100 jobs are due and ~9,900 are not. The benchcmp gate
+// holds its ns/op; the tick must stay near O(due) — the timer wheel
+// pops due entries instead of scanning every job, and the barrier visits
+// only the jobs that stepped.
+func BenchmarkFleetTick10k(b *testing.B) {
+	fleet10k.once.Do(func() { fleet10k.fl, fleet10k.err = fleet10kSetup() })
+	if fleet10k.err != nil {
+		b.Fatal(fleet10k.err)
+	}
+	fl := fleet10k.fl
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Round()
+	}
+	b.StopTimer()
+	running := 0
+	for _, j := range fl.Snapshot().Jobs {
+		if j.State == fleet.StateRunning {
+			running++
+		} else {
+			b.Fatalf("job %s left running state: %s (%s)", j.Name, j.State, j.Error)
+		}
+	}
+	b.ReportMetric(float64(running), "jobs")
+}
+
+// flatPredictor is a minimal transfer.Predictor for library benchmarks.
+type flatPredictor float64
+
+func (p flatPredictor) PredictMean([]float64) float64 { return float64(p) }
+
+// BenchmarkLibraryNearest measures the shared model library's
+// nearest-rate lookup — the warm-start hot path every fleet submission
+// takes — against a 512-model library. The copy-on-write snapshot makes
+// it a lock-free binary search; the benchcmp gate pins it at
+// 0 allocs/op.
+func BenchmarkLibraryNearest(b *testing.B) {
+	lib := transfer.NewModelLibrary()
+	const n = 512
+	for i := 0; i < n; i++ {
+		if err := lib.Put(float64(1000+250*i), flatPredictor(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Exact hits, midpoints, and both out-of-range sides.
+	queries := [...]float64{1000, 64500, 128750, 64625, 3125.5, 12, 9e9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := lib.Nearest(queries[i%len(queries)]); !ok {
+			b.Fatal("empty library")
 		}
 	}
 }

@@ -453,8 +453,9 @@ func (o *Optimizer) scoreCandidates(ws *gp.Workspace, xs [][]float64, acqVals, m
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var wws gp.Workspace
-			scoreRange(&wws, lo, hi)
+			wws := gp.GetWorkspace()
+			scoreRange(wws, lo, hi)
+			gp.PutWorkspace(wws)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -477,19 +478,32 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 	best, _ := o.Best()
 	fBest := best.Score
 
-	evaluated := make(map[string]bool, len(o.obs))
-	for _, ob := range o.obs {
-		if !ob.Estimated {
-			evaluated[ob.Par.Key()] = true
+	// All per-suggestion buffers come from the shared scratch pool (the
+	// fleet arena): a warm scratch makes the whole sweep-and-climb path
+	// allocation-light. Candidates may alias sc.backing, so finish clones
+	// whatever escapes before the deferred release recycles the buffers.
+	sc := getSuggestScratch()
+	defer sc.release()
+	// o.index already interns each observation's canonical key; building
+	// the evaluated set from it skips a Par.Key() encoding per observation.
+	evaluated := sc.evaluated
+	for key, i := range o.index {
+		if !o.obs[i].Estimated {
+			evaluated[key] = true
 		}
 	}
 
-	candidates, candKeys := o.candidatePool(best.Par)
+	candidates, candKeys := o.candidatePool(sc, best.Par)
 	dim := o.space.Dim()
 	// Encode the pool once into one backing array: candidate i's float
 	// vector is enc[i*dim : (i+1)*dim], shared by scoring and climbs.
-	enc := make([]float64, len(candidates)*dim)
-	xs := make([][]float64, 0, len(candidates)+3)
+	n := len(candidates)
+	sc.enc = floatsFor(sc.enc, n*dim, 0)
+	enc := sc.enc
+	if cap(sc.xs) < n+3 {
+		sc.xs = make([][]float64, 0, n+3)
+	}
+	xs := sc.xs[:0]
 	for i, c := range candidates {
 		x := enc[i*dim : (i+1)*dim : (i+1)*dim]
 		for d, k := range c {
@@ -497,24 +511,27 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 		}
 		xs = append(xs, x)
 	}
-	n := len(candidates)
-	acqVals := make([]float64, n, n+3)
-	means := make([]float64, n, n+3)
-	stds := make([]float64, n, n+3)
-	resources := make([]float64, n, n+3)
-	eligible := make([]bool, n, n+3)
+	sc.xs = xs
+	sc.acqVals = floatsFor(sc.acqVals, n, 3)
+	sc.means = floatsFor(sc.means, n, 3)
+	sc.stds = floatsFor(sc.stds, n, 3)
+	sc.resources = floatsFor(sc.resources, n, 3)
+	sc.eligible = boolsFor(sc.eligible, n, 3)
+	acqVals, means, stds := sc.acqVals, sc.means, sc.stds
+	resources, eligible := sc.resources, sc.eligible
 	for i, c := range candidates {
 		resources[i] = o.resourceTerm(c)
 		eligible[i] = !evaluated[candKeys[i]]
 	}
 	// sws serves every serial stage of this suggestion — sweep, climbs,
 	// climb-result scoring — so its memoized kernel values stay warm.
-	var sws gp.Workspace
-	o.scoreCandidates(&sws, xs, acqVals, means, stds, acq, fBest)
+	sws := gp.GetWorkspace()
+	defer gp.PutWorkspace(sws)
+	o.scoreCandidates(sws, xs, acqVals, means, stds, acq, fBest)
 	// The hill climbs below revisit pool points heavily (their starts and
 	// neighborhoods came from the pool); share the sweep's posteriors with
 	// them as a read-only memo.
-	shared := make(map[string]posterior, n)
+	shared := sc.shared
 	for i := range candidates {
 		shared[candKeys[i]] = posterior{means[i], stds[i]}
 	}
@@ -603,7 +620,7 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 		}
 	}
 	if o.sweepWorkers() <= 1 || len(specs) <= 1 {
-		climb := newClimber(&sws, shared, false)
+		climb := newClimber(sws, shared, false)
 		for i := range specs {
 			climb(i)
 		}
@@ -613,8 +630,9 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				var cws gp.Workspace
-				newClimber(&cws, map[string]posterior{}, true)(i)
+				cws := gp.GetWorkspace()
+				newClimber(cws, map[string]posterior{}, true)(i)
+				gp.PutWorkspace(cws)
 			}(i)
 		}
 		wg.Wait()
@@ -623,7 +641,7 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 	// the selection over the extended arrays.
 	for _, p := range results {
 		x := p.Floats()
-		mean, v, err := o.model.PredictWS(&sws, x)
+		mean, v, err := o.model.PredictWS(sws, x)
 		if err != nil {
 			continue
 		}
@@ -645,7 +663,10 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 
 	// finish records the explanation of the chosen candidate
 	// (LastSuggestion, plus a trace span when enabled) and returns it.
+	// The chosen vector is cloned: candidate storage may alias the pooled
+	// scratch, which the deferred release hands back for reuse.
 	finish := func(idx int, reason string) (dataflow.ParallelismVector, error) {
+		par := candidates[idx].Clone()
 		nEligible := 0
 		for _, e := range eligible {
 			if e {
@@ -657,7 +678,7 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 			av = means[idx]
 		}
 		o.lastStats = SuggestionStats{
-			Par:         candidates[idx],
+			Par:         par,
 			Mean:        means[idx],
 			Std:         stds[idx],
 			AcqValue:    av,
@@ -670,7 +691,7 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 		o.haveStats = true
 		if o.tracer.Enabled() {
 			sp := o.tracer.StartSpan("bo.suggest")
-			sp.SetStr("par", candidates[idx].String())
+			sp.SetStr("par", par.String())
 			sp.SetStr("reason", reason)
 			sp.SetStr("acquisition", acq.String())
 			sp.SetInt("pool", len(candidates))
@@ -682,7 +703,7 @@ func (o *Optimizer) SuggestAcq(acq Acquisition) (dataflow.ParallelismVector, err
 			sp.SetFloat("f_best", fBest)
 			sp.End()
 		}
-		return candidates[idx], nil
+		return par, nil
 	}
 
 	if exploit && meanIdx >= 0 {
@@ -795,10 +816,17 @@ func (o *Optimizer) hillClimb(p dataflow.ParallelismVector, objective func(dataf
 //
 // The returned keys slice holds each candidate's canonical Key(), interned
 // once by the dedup pass — SuggestAcq reuses the strings for its
-// evaluated-point and posterior-memo maps instead of re-encoding.
-func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) (pool []dataflow.ParallelismVector, keys []string) {
-	seen := make(map[string]bool, 256)
-	kb := make([]byte, 0, 4*o.space.Dim())
+// evaluated-point and posterior-memo maps instead of re-encoding. Pool
+// and keys storage live in sc (recycled per suggestion), and the random
+// and near-base samples are carved from sc.backing, so a warm scratch
+// makes the whole pool construction allocation-free apart from the
+// interned key strings.
+func (o *Optimizer) candidatePool(sc *suggestScratch, incumbent dataflow.ParallelismVector) (pool []dataflow.ParallelismVector, keys []string) {
+	seen := sc.seen
+	pool = sc.candidates[:0]
+	keys = sc.candKeys[:0]
+	dim := o.space.Dim()
+	kb := make([]byte, 0, 4*dim)
 	// add appends p to the pool and reports whether it was kept (in the
 	// space and not a duplicate). Callers that keep p's storage alive only
 	// when pooled rely on the return value.
@@ -820,7 +848,11 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) (pool []
 	if !localOnly {
 		const randomCount = 256
 		for i := 0; i < randomCount; i++ {
-			add(o.space.RandomPoint(o.rng))
+			p := sc.carve(dim)
+			o.space.RandomPointInto(o.rng, p)
+			if !add(p) {
+				sc.uncarve(dim)
+			}
 		}
 	}
 	// Densely sample near the base corner: the scoring function's
@@ -829,19 +861,16 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) (pool []
 	// keep most candidates within a few steps of base while still
 	// reaching deeper occasionally. Once the pool has contracted to the
 	// trust region, the hill climbs do the fine-grained refinement and a
-	// sparser blanket suffices. The samples are carved out of one backing
-	// array (a slot is reused when the draw is a duplicate), so the loop
+	// sparser blanket suffices. The samples are carved out of the shared
+	// backing (a slot is reused when the draw is a duplicate), so the loop
 	// allocates O(1) vectors instead of one per draw.
 	nearBaseCount := 128
 	if localOnly {
 		nearBaseCount = 64
 	}
-	dim := o.space.Dim()
-	backing := make(dataflow.ParallelismVector, 0, nearBaseCount*dim)
 	for i := 0; i < nearBaseCount; i++ {
-		start := len(backing)
-		backing = append(backing, o.space.Base...)
-		p := backing[start : start+dim : start+dim]
+		p := sc.carve(dim)
+		copy(p, o.space.Base)
 		for d := range p {
 			r := o.rng.Float64()
 			span := o.space.PMax - o.space.Base[d]
@@ -857,7 +886,7 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) (pool []
 		// Offsets are capped at span = PMax − Base[d], so p is in-bounds
 		// by construction — no clamp pass needed.
 		if !add(p) {
-			backing = backing[:start]
+			sc.uncarve(dim)
 		}
 	}
 	if incumbent != nil {
@@ -881,5 +910,6 @@ func (o *Optimizer) candidatePool(incumbent dataflow.ParallelismVector) (pool []
 	if !localOnly {
 		add(dataflow.Uniform(o.space.Dim(), o.space.PMax))
 	}
+	sc.candidates, sc.candKeys = pool, keys
 	return pool, keys
 }

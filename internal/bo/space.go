@@ -68,10 +68,17 @@ func (s Space) Clamp(p dataflow.ParallelismVector) dataflow.ParallelismVector {
 // RandomPoint draws a uniform lattice point from the space.
 func (s Space) RandomPoint(rng *stat.RNG) dataflow.ParallelismVector {
 	out := make(dataflow.ParallelismVector, len(s.Base))
-	for i, lo := range s.Base {
-		out[i] = lo + rng.Intn(s.PMax-lo+1)
-	}
+	s.RandomPointInto(rng, out)
 	return out
+}
+
+// RandomPointInto draws a uniform lattice point into dst (len(s.Base)),
+// the allocation-free companion of RandomPoint. It consumes the same rng
+// draws, so the two are interchangeable without perturbing seeded runs.
+func (s Space) RandomPointInto(rng *stat.RNG, dst dataflow.ParallelismVector) {
+	for i, lo := range s.Base {
+		dst[i] = lo + rng.Intn(s.PMax-lo+1)
+	}
 }
 
 // Neighbors returns the lattice points reachable from p by changing one

@@ -110,12 +110,51 @@ type Controller struct {
 	cfg     ControllerConfig
 	library *transfer.ModelLibrary
 	tracer  *trace.Tracer
+	inst    *ctlInstruments
 
 	curRate  float64
 	rateEWMA *stat.EWMA
 	base     dataflow.ParallelismVector
 	events   []Event
 	reports  []DecisionReport
+}
+
+// ctlInstruments caches the controller's metric handles. The store and
+// job name are fixed at construction, so resolving each counter and
+// histogram once turns the per-step hot path (recordStepMetrics,
+// pushReport) into plain atomic increments — no tag encoding, no
+// registry lookup, nothing for fleet workers to contend on.
+type ctlInstruments struct {
+	steps      *metrics.Counter
+	violations *metrics.Counter
+	decisions  map[ActionKind]*metrics.Counter
+	degraded   *metrics.Counter
+	transfers  *metrics.Counter
+
+	boIterations *metrics.Histogram
+	margin       *metrics.Histogram
+}
+
+// newCtlInstruments resolves every instrument the controller emits; nil
+// when the engine records no metrics.
+func newCtlInstruments(st *metrics.Store, job string) *ctlInstruments {
+	if st == nil {
+		return nil
+	}
+	tags := map[string]string{"job": job}
+	decisions := make(map[ActionKind]*metrics.Counter, 5)
+	for _, a := range []ActionKind{ActionNone, ActionThroughput, ActionAlgorithm1, ActionAlgorithm2, ActionDegraded} {
+		decisions[a] = st.Counter("autrascale.decisions", map[string]string{"job": job, "action": string(a)})
+	}
+	return &ctlInstruments{
+		steps:        st.Counter("autrascale.steps", tags),
+		violations:   st.Counter("autrascale.latency.violations", tags),
+		decisions:    decisions,
+		degraded:     st.Counter("degraded_decisions", tags),
+		transfers:    st.Counter("autrascale.transfers", tags),
+		boIterations: st.Histogram("autrascale.bo.iterations", tags, boIterationBuckets),
+		margin:       st.Histogram("autrascale.decision.margin", tags, marginBuckets),
+	}
 }
 
 // NewController builds a controller for the engine.
@@ -135,6 +174,7 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 		cfg:     cfg,
 		library: lib,
 		tracer:  cfg.Tracer,
+		inst:    newCtlInstruments(e.Store(), e.JobName()),
 		// Smooth the observed input rate (half-life one policy window) so the
 		// controller re-plans on sustained shifts, not window jitter.
 		rateEWMA: stat.NewEWMA(stat.HalfLifeAlpha(1)),
@@ -180,38 +220,34 @@ func (c *Controller) pushReport(r DecisionReport) {
 		n := copy(c.reports, c.reports[over:])
 		c.reports = c.reports[:n]
 	}
-	st := c.engine.Store()
-	if st == nil {
+	if c.inst == nil {
 		return
 	}
-	job := c.engine.JobName()
-	st.Counter("autrascale.decisions", map[string]string{"job": job, "action": string(r.Action)}).Inc()
+	if ctr := c.inst.decisions[r.Action]; ctr != nil {
+		ctr.Inc()
+	}
 	if r.Degraded {
 		// Degraded decisions have no BO outcome to histogram; they are
 		// tracked by their own counter for scrape-side alerting.
-		st.Counter("degraded_decisions", map[string]string{"job": job}).Inc()
+		c.inst.degraded.Inc()
 		return
 	}
-	st.Histogram("autrascale.bo.iterations", map[string]string{"job": job}, boIterationBuckets).
-		Observe(float64(r.Iterations))
-	st.Histogram("autrascale.decision.margin", map[string]string{"job": job}, marginBuckets).
-		Observe(r.Margin)
+	c.inst.boIterations.Observe(float64(r.Iterations))
+	c.inst.margin.Observe(r.Margin)
 	if r.Action == ActionAlgorithm2 {
-		st.Counter("autrascale.transfers", map[string]string{"job": job}).Inc()
+		c.inst.transfers.Inc()
 	}
 }
 
 // recordStepMetrics tracks per-step QoS outcomes (latency target hit or
 // miss) so scrape-side alerting does not need to parse events.
 func (c *Controller) recordStepMetrics(m flink.Measurement) {
-	st := c.engine.Store()
-	if st == nil {
+	if c.inst == nil {
 		return
 	}
-	job := c.engine.JobName()
-	st.Counter("autrascale.steps", map[string]string{"job": job}).Inc()
+	c.inst.steps.Inc()
 	if m.ProcLatencyMS > c.cfg.TargetLatencyMS {
-		st.Counter("autrascale.latency.violations", map[string]string{"job": job}).Inc()
+		c.inst.violations.Inc()
 	}
 }
 

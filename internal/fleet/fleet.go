@@ -50,6 +50,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"autrascale/internal/chaos"
 	"autrascale/internal/cluster"
@@ -209,10 +210,16 @@ const (
 type job struct {
 	spec   JobSpec
 	seed   uint64
+	seq    int // submission sequence; orders the round barrier
 	engine *flink.Engine
 	ctl    *core.Controller
 	state  State
 	err    error
+	// tracer is the job's buffered conduit onto the fleet tracer: spans
+	// the engine and controller emit while a worker steps the job stay
+	// local and are flushed to the shared ring in one batch at the round
+	// barrier (nil when the fleet traces nothing).
+	tracer *trace.Tracer
 
 	offsetSec float64 // fleet clock at submission; the job's time origin
 	steps     int     // MAPE steps taken
@@ -234,9 +241,59 @@ type Fleet struct {
 	usedCores int
 	nowSec    float64
 	rounds    int
+	submitSeq int // next job.seq
+	// wheel schedules the next due time of every running job, so Round
+	// finds the due set in O(due · log jobs) instead of scanning all jobs.
+	wheel timerWheel
+	// due and reinsert are Round's working slices, reused across rounds
+	// so a steady-state tick allocates nothing for scheduling.
+	due      []*job
+	reinsert []wheelEntry
+	// shards are the per-worker telemetry accumulators (allocated once,
+	// cache-line padded); inst caches the fleet-aggregate instrument
+	// handles so barrier emission is plain atomic math.
+	shards []workerShard
+	inst   *fleetInstruments
 	// shared maps workload signature → the fleet-level model library new
 	// submissions warm-start from.
 	shared map[string]*transfer.ModelLibrary
+}
+
+// workerShard accumulates one round worker's telemetry locally; the
+// barrier sums shards once instead of workers contending on shared
+// counters mid-round. Padded so neighboring shards never share a cache
+// line.
+type workerShard struct {
+	steps int
+	_     [56]byte
+}
+
+// fleetInstruments caches the fleet-aggregate counters and histograms;
+// nil when no store is attached. Resolving each handle once at
+// construction keeps tag encoding and registry lookups off the round
+// path.
+type fleetInstruments struct {
+	submitted, rejected, drained, removed, quarantined *metrics.Counter
+	warmstarts, published, rounds, steps               *metrics.Counter
+	roundJobs                                          *metrics.Histogram
+}
+
+func newFleetInstruments(st *metrics.Store) *fleetInstruments {
+	if st == nil {
+		return nil
+	}
+	return &fleetInstruments{
+		submitted:   st.Counter("autrascale.fleet.jobs_submitted", nil),
+		rejected:    st.Counter("autrascale.fleet.jobs_rejected", nil),
+		drained:     st.Counter("autrascale.fleet.jobs_drained", nil),
+		removed:     st.Counter("autrascale.fleet.jobs_removed", nil),
+		quarantined: st.Counter("autrascale.fleet.jobs_quarantined", nil),
+		warmstarts:  st.Counter("autrascale.fleet.warmstarts", nil),
+		published:   st.Counter("autrascale.fleet.models_published", nil),
+		rounds:      st.Counter("autrascale.fleet.rounds", nil),
+		steps:       st.Counter("autrascale.fleet.steps", nil),
+		roundJobs:   st.Histogram("autrascale.fleet.round.jobs_stepped", nil, roundStepBuckets),
+	}
 }
 
 // New validates the configuration and builds an empty fleet.
@@ -247,6 +304,8 @@ func New(cfg Config) (*Fleet, error) {
 	return &Fleet{
 		cfg:    cfg,
 		jobs:   map[string]*job{},
+		shards: make([]workerShard, cfg.Workers),
+		inst:   newFleetInstruments(cfg.Store),
 		shared: map[string]*transfer.ModelLibrary{},
 	}, nil
 }
@@ -265,13 +324,6 @@ func deriveSeed(fleetSeed uint64, name string) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
-}
-
-// counter increments a fleet-aggregate counter when a store is attached.
-func (f *Fleet) counter(name string) {
-	if f.cfg.Store != nil {
-		f.cfg.Store.Counter(name, nil).Inc()
-	}
 }
 
 // Now returns the fleet's shared simulated clock.
@@ -308,7 +360,9 @@ func (f *Fleet) Submit(spec JobSpec) error {
 	}
 	if f.usedCores+spec.cores() > f.cfg.TotalCores {
 		sp.SetBool("granted", false)
-		f.counter("autrascale.fleet.jobs_rejected")
+		if f.inst != nil {
+			f.inst.rejected.Inc()
+		}
 		return fmt.Errorf("%w: job %q needs %d cores, %d of %d in use",
 			ErrAdmissionRejected, spec.Name, spec.cores(), f.usedCores, f.cfg.TotalCores)
 	}
@@ -334,13 +388,17 @@ func (f *Fleet) Submit(spec JobSpec) error {
 
 	lib, warmRate, warm := f.warmStartLibrary(spec)
 
+	// The job's engine and controller emit through a buffered conduit:
+	// spans accumulate locally while a pool worker steps the job and are
+	// flushed to the shared ring in one batch at the round barrier.
+	jobTracer := f.cfg.Tracer.Buffered()
 	engine, err := workloads.NewEngine(spec.Workload, workloads.EngineOptions{
 		JobName:  spec.Name,
 		Schedule: spec.Schedule,
 		Seed:     seed,
 		Cluster:  cl,
 		Store:    f.cfg.Store,
-		Tracer:   f.cfg.Tracer,
+		Tracer:   jobTracer,
 		Chaos:    injector,
 	})
 	if err != nil {
@@ -351,7 +409,7 @@ func (f *Fleet) Submit(spec JobSpec) error {
 		MaxIterations:   spec.MaxIterations,
 		Seed:            seed,
 		Library:         lib,
-		Tracer:          f.cfg.Tracer,
+		Tracer:          jobTracer,
 	})
 	if err != nil {
 		return err
@@ -360,14 +418,17 @@ func (f *Fleet) Submit(spec JobSpec) error {
 	j := &job{
 		spec:           spec,
 		seed:           seed,
+		seq:            f.submitSeq,
 		engine:         engine,
 		ctl:            ctl,
 		state:          StateRunning,
+		tracer:         jobTracer,
 		offsetSec:      f.nowSec,
 		warmStarted:    warm,
 		warmSourceRate: warmRate,
 		published:      map[float64]bool{},
 	}
+	f.submitSeq++
 	if warm {
 		// The preloaded model is already in the shared library — do not
 		// publish it back at the next barrier.
@@ -376,7 +437,12 @@ func (f *Fleet) Submit(spec JobSpec) error {
 	f.jobs[spec.Name] = j
 	f.order = append(f.order, spec.Name)
 	f.usedCores += spec.cores()
-	f.counter("autrascale.fleet.jobs_submitted")
+	// The engine clock starts at 0, so the job is due at the next round.
+	f.wheel.push(wheelEntry{key: j.offsetSec + j.engine.Now(), seq: j.seq, job: j})
+	j.tracer.Flush() // construction-time spans
+	if f.inst != nil {
+		f.inst.submitted.Inc()
+	}
 	sp.SetBool("granted", true)
 	sp.SetBool("warm_started", warm)
 	return nil
@@ -419,7 +485,9 @@ func (f *Fleet) warmStartLibrary(spec JobSpec) (lib *transfer.ModelLibrary, rate
 		sp.SetFloat("source_rate", entry.RateRPS)
 		sp.SetBool("ok", true)
 	}
-	f.counter("autrascale.fleet.warmstarts")
+	if f.inst != nil {
+		f.inst.warmstarts.Inc()
+	}
 	return lib, entry.RateRPS, true
 }
 
@@ -452,7 +520,10 @@ func (f *Fleet) Drain(name string) error {
 	}
 	f.usedCores -= j.spec.cores()
 	j.state = StateDrained
-	f.counter("autrascale.fleet.jobs_drained")
+	j.tracer.Flush()
+	if f.inst != nil {
+		f.inst.drained.Inc()
+	}
 	return nil
 }
 
@@ -475,7 +546,10 @@ func (f *Fleet) Remove(name string) error {
 			break
 		}
 	}
-	f.counter("autrascale.fleet.jobs_removed")
+	j.tracer.Flush()
+	if f.inst != nil {
+		f.inst.removed.Inc()
+	}
 	return nil
 }
 
@@ -484,10 +558,13 @@ var roundStepBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Round advances the shared clock by RoundSec and steps every running
 // job whose engine lags it, sharding the work across the bounded worker
-// pool. At the barrier it quarantines jobs whose controllers errored and
-// publishes newly fitted models to the shared library in submission
-// order (the deterministic part — stepping order never matters because
-// jobs share no mutable state).
+// pool. The due set comes from the timer wheel (O(due · log jobs), not a
+// scan of every job); at the barrier, due jobs are quarantined or have
+// their fresh models published in submission order, their next due times
+// re-enter the wheel, and their buffered spans flush to the shared ring.
+// Only stepped jobs can gain an error or a new model, so the due-only
+// barrier evolves the shared library exactly as the historical all-jobs
+// pass did.
 func (f *Fleet) Round() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -497,114 +574,140 @@ func (f *Fleet) Round() {
 	sp := f.cfg.Tracer.StartSpan("fleet.tick")
 	defer sp.End()
 
-	var due []*job
-	for _, name := range f.order {
-		j := f.jobs[name]
-		if j.state == StateRunning && j.engine.Now() < f.nowSec-j.offsetSec {
-			due = append(due, j)
+	// Collect the due set. The wheel keys are conservative (see wheel.go):
+	// pop everything within half a round of the clock, then apply the
+	// exact legacy due comparison. False positives go back in after the
+	// loop — pushing mid-loop could re-pop them this round.
+	due := f.due[:0]
+	reinsert := f.reinsert[:0]
+	slack := f.cfg.RoundSec / 2
+	for f.wheel.len() > 0 && f.wheel.peek().key < f.nowSec+slack {
+		e := f.wheel.pop()
+		j := e.job
+		if f.jobs[j.spec.Name] != j || j.state != StateRunning {
+			continue // stale entry: job drained, removed, quarantined, or replaced
 		}
+		if j.engine.Now() < f.nowSec-j.offsetSec {
+			due = append(due, j)
+			continue
+		}
+		// The job's engine ran ahead of the clock (a long planning
+		// session); keep its entry for the round its lead runs out.
+		reinsert = append(reinsert, wheelEntry{key: j.offsetSec + j.engine.Now(), seq: e.seq, job: j})
 	}
-
-	stepsBefore := 0
-	for _, j := range due {
-		stepsBefore += j.steps
+	for _, e := range reinsert {
+		f.wheel.push(e)
 	}
+	f.due, f.reinsert = due, reinsert[:0]
+	// The wheel pops in due-time order; the barrier below needs
+	// submission order.
+	sort.Slice(due, func(a, b int) bool { return due[a].seq < due[b].seq })
 
-	// Shard the due jobs across the pool. Each job is owned by exactly
-	// one worker for the round; engines are independent, so no two
-	// goroutines ever touch the same mutable state.
+	// Shard the due jobs across the pool: workers pull indices from an
+	// atomic cursor, so a job is owned by exactly one worker for the
+	// round. Engines are independent — no two goroutines ever touch the
+	// same mutable state — and each worker accumulates telemetry in its
+	// own padded shard, summed once at the barrier.
 	workers := min(f.cfg.Workers, len(due))
+	totalSteps := 0
 	if workers > 0 {
-		ch := make(chan *job)
+		shards := f.shards[:workers]
+		for i := range shards {
+			shards[i].steps = 0
+		}
+		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(shard *workerShard) {
 				defer wg.Done()
-				for j := range ch {
-					f.stepJob(j)
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(due) {
+						return
+					}
+					shard.steps += f.stepJob(due[i])
 				}
-			}()
+			}(&shards[w])
 		}
-		for _, j := range due {
-			ch <- j
-		}
-		close(ch)
 		wg.Wait()
+		for i := range shards {
+			totalSteps += shards[i].steps
+		}
 	}
 
-	// Barrier: quarantine errored jobs, then publish fresh models, both
-	// in submission order so the shared library's evolution (and thus
-	// every later warm start) is reproducible.
+	// Barrier: quarantine errored jobs, publish fresh models, reschedule,
+	// and flush buffered spans — all in submission order so the shared
+	// library's evolution (and thus every later warm start) is
+	// reproducible. Quarantined jobs leave the wheel by omission.
 	quarantined := 0
-	for _, name := range f.order {
-		j := f.jobs[name]
-		if j.state != StateRunning {
-			continue
-		}
+	for _, j := range due {
 		if j.err != nil {
 			j.state = StateQuarantined
 			quarantined++
-			f.counter("autrascale.fleet.jobs_quarantined")
+			if f.inst != nil {
+				f.inst.quarantined.Inc()
+			}
 			if f.cfg.Tracer.Enabled() {
 				qsp := f.cfg.Tracer.StartSpan("fleet.quarantine")
 				qsp.SetFloat("t_sec", f.nowSec)
-				qsp.SetStr("job", name)
+				qsp.SetStr("job", j.spec.Name)
 				qsp.SetStr("error", j.err.Error())
 				qsp.End()
 			}
+			j.tracer.Flush()
 			continue
 		}
 		f.publishModels(j)
+		f.wheel.push(wheelEntry{key: j.offsetSec + j.engine.Now(), seq: j.seq, job: j})
+		j.tracer.Flush()
 	}
 
-	stepsAfter := 0
-	for _, j := range due {
-		stepsAfter += j.steps
-	}
-	f.counter("autrascale.fleet.rounds")
-	if f.cfg.Store != nil {
-		f.cfg.Store.Counter("autrascale.fleet.steps", nil).Add(float64(stepsAfter - stepsBefore))
-		f.cfg.Store.Histogram("autrascale.fleet.round.jobs_stepped", nil, roundStepBuckets).
-			Observe(float64(len(due)))
+	if f.inst != nil {
+		f.inst.rounds.Inc()
+		f.inst.steps.Add(float64(totalSteps))
+		f.inst.roundJobs.Observe(float64(len(due)))
 	}
 	if f.cfg.Tracer.Enabled() {
 		sp.SetFloat("t_sec", f.nowSec)
 		sp.SetInt("jobs", len(f.order))
 		sp.SetInt("due", len(due))
-		sp.SetInt("steps", stepsAfter-stepsBefore)
+		sp.SetInt("steps", totalSteps)
 		sp.SetInt("quarantined", quarantined)
 	}
 }
 
 // stepJob advances one job until its engine catches up with the fleet
-// clock (relative to its submission time). Runs on a pool worker; only
-// this goroutine touches the job during the round.
-func (f *Fleet) stepJob(j *job) {
+// clock (relative to its submission time), returning the steps taken.
+// Runs on a pool worker; only this goroutine touches the job during the
+// round.
+func (f *Fleet) stepJob(j *job) int {
 	target := f.nowSec - j.offsetSec
+	n := 0
 	for j.engine.Now() < target {
 		if _, err := j.ctl.Step(); err != nil {
 			j.err = err
-			return
+			break
 		}
-		j.steps++
+		n++
 	}
+	j.steps += n
+	return n
 }
 
 // publishModels snapshots the job's newly fitted benefit models into the
 // fleet's shared library for its signature. Called under the fleet lock,
-// in submission order.
+// in submission order. Iterating the library's immutable snapshot keeps
+// the steady-state no-op case (everything already published) free of
+// allocation.
 func (f *Fleet) publishModels(j *job) {
-	for _, rate := range j.ctl.Library().Rates() {
+	for _, e := range j.ctl.Library().Entries() {
+		rate := e.RateRPS
 		if j.published[rate] {
 			continue
 		}
 		j.published[rate] = true // never retried: a failed refit stays failed
-		model, ok := j.ctl.Library().Get(rate)
-		if !ok {
-			continue
-		}
-		snap, err := refitSnapshot(model)
+		snap, err := refitSnapshot(e.Model)
 		if err != nil {
 			continue
 		}
@@ -616,7 +719,9 @@ func (f *Fleet) publishModels(j *job) {
 		if err := lib.Put(rate, snap); err != nil {
 			continue
 		}
-		f.counter("autrascale.fleet.models_published")
+		if f.inst != nil {
+			f.inst.published.Inc()
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"autrascale/internal/metrics"
+)
+
+// TestFleetLifecycleStress races Submit, Drain, and Remove against a
+// concurrent Round loop — the lifecycle churn a long-lived control
+// plane sees — and then checks the scheduler's structural invariants
+// once the dust settles. Job names are deliberately reused across
+// remove/resubmit cycles so the timer wheel's stale entries point at
+// dead generations of live names; the identity check at pop must
+// discard them. Run under -race (make race includes this package) this
+// doubles as the locking proof for the wheel and the copy-on-write
+// library.
+func TestFleetLifecycleStress(t *testing.T) {
+	fl, err := New(Config{
+		TotalCores: 8192,
+		Seed:       17,
+		RoundSec:   30,
+		Store:      metrics.NewStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A few stable jobs that live through the whole churn.
+	for i := 0; i < 4; i++ {
+		if err := fl.Submit(testJob(t, fmt.Sprintf("stable-%d", i), 1500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		rounds   = 40
+		mutators = 4
+		cycles   = 20
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			fl.Round()
+		}
+	}()
+	for g := 0; g < mutators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < cycles; i++ {
+				// Each mutator cycles through 5 names, so most
+				// submissions reuse a name an earlier Remove freed.
+				name := fmt.Sprintf("churn-%d-%d", g, i%5)
+				// Submit may legitimately fail: the name is still held
+				// (live or drained-but-not-removed) or capacity is
+				// exhausted mid-churn.
+				_ = fl.Submit(testJob(t, name, 1500))
+				if i%3 == 0 {
+					_ = fl.Drain(name)
+				}
+				if i%2 == 0 {
+					_ = fl.Remove(name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// A few quiet rounds drain stale wheel entries and keep survivors
+	// stepping.
+	for i := 0; i < 4; i++ {
+		fl.Round()
+	}
+
+	// Structural invariants, inspected directly now that the fleet is
+	// quiescent (no lock needed, but it is cheap).
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+
+	wantCores := 0
+	for _, j := range fl.jobs {
+		if j.state != StateDrained {
+			wantCores += j.spec.cores()
+		}
+	}
+	if fl.usedCores != wantCores {
+		t.Errorf("usedCores = %d, want %d (sum over live non-drained jobs)", fl.usedCores, wantCores)
+	}
+
+	// Every running job must own exactly one live wheel entry — the
+	// invariant Round's due collection depends on. Stale entries (dead
+	// generations, drained/removed jobs) may linger; live duplicates or
+	// omissions may not.
+	live := map[string]int{}
+	for _, e := range fl.wheel.entries {
+		if j := e.job; fl.jobs[j.spec.Name] == j && j.state == StateRunning {
+			live[j.spec.Name]++
+		}
+	}
+	for name, j := range fl.jobs {
+		if j.state == StateRunning && live[name] != 1 {
+			t.Errorf("running job %q has %d live wheel entries, want 1", name, live[name])
+		}
+	}
+	for name, n := range live {
+		if n != 1 {
+			t.Errorf("wheel holds %d live entries for %q, want 1", n, name)
+		}
+	}
+
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("stable-%d", i)
+		j, ok := fl.jobs[name]
+		if !ok || j.state != StateRunning {
+			t.Errorf("stable job %q did not survive the churn (state %v)", name, j.state)
+		} else if j.steps == 0 {
+			t.Errorf("stable job %q was never stepped", name)
+		}
+	}
+}

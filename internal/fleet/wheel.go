@@ -1,0 +1,95 @@
+package fleet
+
+// The fleet's due-job scheduler. Round used to scan every job to find
+// the handful whose engines lag the shared clock; at 10k mostly-idle
+// jobs that scan dominates the tick. The wheel keeps one entry per
+// running job in a binary min-heap keyed by the fleet-clock time the
+// job next becomes due (its submission offset plus its engine clock),
+// so a round touches O(due · log jobs) entries instead of O(jobs).
+//
+// Two properties keep it safe to use under the determinism invariant:
+//
+//   - Keys are conservative, not exact. The legacy due test compares
+//     j.engine.Now() < f.nowSec − j.offsetSec; the heap key is the
+//     float sum j.offsetSec + j.engine.Now(), which can differ from
+//     the exact comparison by rounding. Round therefore pops every
+//     entry within half a round of the clock and re-applies the exact
+//     legacy comparison to each, re-inserting false positives — the
+//     due set is bit-identical to the full scan's.
+//
+//   - Entries are invalidated lazily. Drain, Remove, and quarantine
+//     leave stale entries behind; a popped entry is discarded unless
+//     its job pointer is still the live, running job of that name.
+//     Each running job has exactly one live entry: Submit pushes it,
+//     Round re-pushes after stepping, nothing else does.
+//
+// Ties on the key break toward the lower submission sequence so the
+// heap's pop order — and with it the span and counter emission order —
+// is deterministic, though Round re-sorts the due set by submission
+// order anyway before stepping.
+
+// wheelEntry schedules one job's next due time.
+type wheelEntry struct {
+	key float64 // fleet-clock time at which the job becomes due
+	seq int     // job submission sequence; deterministic tie-break
+	job *job
+}
+
+// timerWheel is a binary min-heap of wheelEntry ordered by (key, seq).
+// The zero value is an empty wheel.
+type timerWheel struct {
+	entries []wheelEntry
+}
+
+func (w *timerWheel) len() int { return len(w.entries) }
+
+// peek returns the minimum entry without removing it.
+func (w *timerWheel) peek() wheelEntry { return w.entries[0] }
+
+func (w *timerWheel) less(i, j int) bool {
+	a, b := w.entries[i], w.entries[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an entry.
+func (w *timerWheel) push(e wheelEntry) {
+	w.entries = append(w.entries, e)
+	i := len(w.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.less(i, parent) {
+			break
+		}
+		w.entries[i], w.entries[parent] = w.entries[parent], w.entries[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum entry.
+func (w *timerWheel) pop() wheelEntry {
+	top := w.entries[0]
+	last := len(w.entries) - 1
+	w.entries[0] = w.entries[last]
+	w.entries[last] = wheelEntry{} // drop the job pointer for the GC
+	w.entries = w.entries[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && w.less(left, smallest) {
+			smallest = left
+		}
+		if right < last && w.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		w.entries[i], w.entries[smallest] = w.entries[smallest], w.entries[i]
+		i = smallest
+	}
+	return top
+}

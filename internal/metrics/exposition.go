@@ -54,27 +54,15 @@ func (s *Store) WriteExposition(w io.Writer) error {
 // histograms (Prometheus `name_bucket{le=...}` / `_sum` / `_count`
 // triplets) after the series gauges.
 func (s *Store) writeInstruments(w io.Writer) error {
-	s.instMu.Lock()
-	counterKeys := sortedInstrumentKeys(s.counters)
-	counters := make([]*Counter, len(counterKeys))
-	for i, k := range counterKeys {
-		counters[i] = s.counters[k]
-	}
-	histKeys := sortedInstrumentKeys(s.histograms)
-	hists := make([]*Histogram, len(histKeys))
-	for i, k := range histKeys {
-		hists[i] = s.histograms[k]
-	}
-	s.instMu.Unlock()
-
-	for i, k := range counterKeys {
+	for _, p := range sortedInstruments[*Counter](&s.counters) {
 		if _, err := fmt.Fprintf(w, "%s_total%s %g\n",
-			sanitizeMetricName(k.Name), formatLabels(k.Tags), counters[i].Value()); err != nil {
+			sanitizeMetricName(p.key.Name), formatLabels(p.key.Tags), p.val.Value()); err != nil {
 			return err
 		}
 	}
-	for i, k := range histKeys {
-		snap := hists[i].Snapshot()
+	for _, p := range sortedInstruments[*Histogram](&s.histograms) {
+		k := p.key
+		snap := p.val.Snapshot()
 		name := sanitizeMetricName(k.Name)
 		for j, bound := range snap.Bounds {
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",

@@ -105,52 +105,48 @@ type instrumentKey struct {
 }
 
 // Counter returns (creating on first use) the counter with the given
-// name and tags.
+// name and tags. Existing instruments resolve with a lock-free read.
 func (s *Store) Counter(name string, tags map[string]string) *Counter {
 	key := instrumentKey{Name: name, Tags: EncodeTags(tags)}
-	s.instMu.Lock()
-	defer s.instMu.Unlock()
-	if s.counters == nil {
-		s.counters = map[instrumentKey]*Counter{}
+	if c, ok := s.counters.Load(key); ok {
+		return c.(*Counter)
 	}
-	c, ok := s.counters[key]
-	if !ok {
-		c = &Counter{}
-		s.counters[key] = c
-	}
-	return c
+	c, _ := s.counters.LoadOrStore(key, &Counter{})
+	return c.(*Counter)
 }
 
 // Histogram returns (creating on first use) the histogram with the
 // given name, tags, and bucket upper bounds. Bounds are fixed at
 // creation; later calls with different bounds reuse the existing
-// instrument unchanged.
+// instrument unchanged. Existing instruments resolve with a lock-free
+// read.
 func (s *Store) Histogram(name string, tags map[string]string, bounds []float64) *Histogram {
 	key := instrumentKey{Name: name, Tags: EncodeTags(tags)}
-	s.instMu.Lock()
-	defer s.instMu.Unlock()
-	if s.histograms == nil {
-		s.histograms = map[instrumentKey]*Histogram{}
+	if h, ok := s.histograms.Load(key); ok {
+		return h.(*Histogram)
 	}
-	h, ok := s.histograms[key]
-	if !ok {
-		h = newHistogram(bounds)
-		s.histograms[key] = h
-	}
-	return h
+	h, _ := s.histograms.LoadOrStore(key, newHistogram(bounds))
+	return h.(*Histogram)
 }
 
-// instrumentKeys returns the sorted keys of m (counters or histograms).
-func sortedInstrumentKeys[V any](m map[instrumentKey]V) []instrumentKey {
-	keys := make([]instrumentKey, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Name != keys[j].Name {
-			return keys[i].Name < keys[j].Name
-		}
-		return keys[i].Tags < keys[j].Tags
+// instPair is one (key, instrument) entry collected for exposition.
+type instPair[V any] struct {
+	key instrumentKey
+	val V
+}
+
+// sortedInstruments snapshots a registry sorted by (name, tags).
+func sortedInstruments[V any](m *sync.Map) []instPair[V] {
+	var out []instPair[V]
+	m.Range(func(k, v any) bool {
+		out = append(out, instPair[V]{key: k.(instrumentKey), val: v.(V)})
+		return true
 	})
-	return keys
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.Name != out[j].key.Name {
+			return out[i].key.Name < out[j].key.Name
+		}
+		return out[i].key.Tags < out[j].key.Tags
+	})
+	return out
 }

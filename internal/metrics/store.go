@@ -46,13 +46,18 @@ func EncodeTags(tags map[string]string) string {
 // Store is a concurrency-safe time-series database. Besides gauge-style
 // series it registers counter/histogram instruments (see instruments.go)
 // so one exposition pass covers both.
+//
+// The instrument registries are sync.Maps: instruments are created once
+// and then looked up on every controller decision, so the steady-state
+// path is a lock-free read with no mutex for fleet workers to contend
+// on. Hot paths should still cache the returned *Counter/*Histogram
+// handle — the lookup is cheap, but EncodeTags is not free.
 type Store struct {
 	mu     sync.RWMutex
 	series map[SeriesKey][]Point
 
-	instMu     sync.Mutex
-	counters   map[instrumentKey]*Counter
-	histograms map[instrumentKey]*Histogram
+	counters   sync.Map // instrumentKey -> *Counter
+	histograms sync.Map // instrumentKey -> *Histogram
 }
 
 // NewStore returns an empty store.
@@ -201,10 +206,17 @@ func (s *Store) Clear() {
 	s.mu.Lock()
 	s.series = map[SeriesKey][]Point{}
 	s.mu.Unlock()
-	s.instMu.Lock()
-	s.counters = nil
-	s.histograms = nil
-	s.instMu.Unlock()
+	clearSyncMap(&s.counters)
+	clearSyncMap(&s.histograms)
+}
+
+// clearSyncMap drops every key (sync.Map.Clear needs go1.23; the module
+// targets go1.22).
+func clearSyncMap(m *sync.Map) {
+	m.Range(func(k, _ any) bool {
+		m.Delete(k)
+		return true
+	})
 }
 
 // Canonical metric names (Flink-style paths as exposed in the paper §V-E).

@@ -102,14 +102,24 @@ type Span struct {
 
 // Tracer collects completed spans into a bounded ring buffer. The nil
 // *Tracer is the disabled tracer (see package comment).
+//
+// A tracer returned by Buffered is a write-only conduit: its spans
+// accumulate in a local buffer and reach the root ring only on Flush,
+// in one batch under one lock acquisition. Fleet workers give each job
+// a buffered tracer so per-span pushes never contend on the shared
+// ring; the round barrier flushes them.
 type Tracer struct {
 	seq atomic.Uint64
+
+	root *Tracer // non-nil on buffered conduits; spans flush to root
 
 	mu      sync.Mutex
 	buf     []Span // ring storage, len == capacity once full
 	next    int    // write position
 	full    bool
 	dropped uint64 // spans evicted by the ring
+
+	pending []Span // buffered-conduit accumulation, moved by Flush
 }
 
 // DefaultCapacity is the ring size New uses for capacity <= 0.
@@ -127,10 +137,68 @@ func New(capacity int) *Tracer {
 // Enabled reports whether spans are being recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
 
-// push adds a completed span to the ring.
+// Buffered returns a write-only conduit onto t: spans started on it get
+// ids from t's sequence but stay in a local buffer until Flush. Reads
+// (Snapshot, Len, ...) should go to t, not the conduit. Buffering a
+// conduit returns another conduit onto the same root. Nil-safe: the
+// disabled tracer buffers to another disabled tracer.
+func (t *Tracer) Buffered() *Tracer {
+	if t == nil {
+		return nil
+	}
+	root := t
+	if t.root != nil {
+		root = t.root
+	}
+	return &Tracer{root: root}
+}
+
+// Flush moves the conduit's accumulated spans to the root ring as one
+// batch. No-op on nil or non-buffered tracers.
+func (t *Tracer) Flush() {
+	if t == nil || t.root == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root.pushBatch(t.pending)
+	t.pending = t.pending[:0]
+}
+
+// nextID draws a span id, always from the root's sequence so ids stay
+// unique across every conduit of one tracer.
+func (t *Tracer) nextID() uint64 {
+	if t.root != nil {
+		return t.root.seq.Add(1)
+	}
+	return t.seq.Add(1)
+}
+
+// push adds a completed span to the ring (or, on a buffered conduit, to
+// the local accumulation).
 func (t *Tracer) push(s Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.root != nil {
+		t.pending = append(t.pending, s)
+		return
+	}
+	t.pushOneLocked(s)
+}
+
+// pushBatch commits spans to the ring under a single lock acquisition.
+func (t *Tracer) pushBatch(spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range spans {
+		t.pushOneLocked(s)
+	}
+}
+
+func (t *Tracer) pushOneLocked(s Span) {
 	if !t.full {
 		t.buf = append(t.buf, s)
 		if len(t.buf) == cap(t.buf) {
@@ -214,7 +282,7 @@ func (t *Tracer) StartSpan(name string) *ActiveSpan {
 	return &ActiveSpan{
 		tracer: t,
 		span: Span{
-			ID:            t.seq.Add(1),
+			ID:            t.nextID(),
 			Name:          name,
 			StartUnixNano: time.Now().UnixNano(),
 		},

@@ -132,6 +132,73 @@ func TestConcurrentEnd(t *testing.T) {
 	}
 }
 
+func TestBufferedFlush(t *testing.T) {
+	root := New(64)
+	conduit := root.Buffered()
+	if !conduit.Enabled() {
+		t.Fatal("buffered conduit of an enabled tracer must be enabled")
+	}
+
+	conduit.StartSpan("held").SetInt("i", 1).End()
+	conduit.StartSpan("held").SetInt("i", 2).End()
+	if root.Len() != 0 {
+		t.Fatalf("spans reached the root before Flush: Len = %d", root.Len())
+	}
+
+	root.StartSpan("direct").End()
+	conduit.Flush()
+	if root.Len() != 3 {
+		t.Fatalf("after Flush root holds %d spans, want 3", root.Len())
+	}
+	// Conduit ids come from the root sequence: all distinct.
+	seen := map[uint64]bool{}
+	for _, s := range root.Snapshot(0) {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d across conduit and root", s.ID)
+		}
+		seen[s.ID] = true
+	}
+
+	// Flush drains: a second flush adds nothing.
+	conduit.Flush()
+	if root.Len() != 3 {
+		t.Fatalf("idempotent Flush changed Len to %d", root.Len())
+	}
+
+	// Buffering a conduit attaches to the same root.
+	conduit.Buffered().StartSpan("nested").End()
+	// ...but that nested conduit was discarded unflushed: root unchanged.
+	if root.Len() != 3 {
+		t.Fatalf("unflushed nested conduit leaked spans: Len = %d", root.Len())
+	}
+
+	// Nil-safety mirrors the disabled tracer.
+	var off *Tracer
+	off.Buffered().StartSpan("x").End()
+	off.Flush()
+}
+
+func TestBufferedConcurrentConduits(t *testing.T) {
+	root := New(4096)
+	var wg sync.WaitGroup
+	conduits := make([]*Tracer, 8)
+	for g := range conduits {
+		conduits[g] = root.Buffered()
+		wg.Add(1)
+		go func(c *Tracer) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.StartSpan("job").SetInt("i", i).End()
+			}
+			c.Flush()
+		}(conduits[g])
+	}
+	wg.Wait()
+	if root.Len() != 800 {
+		t.Fatalf("root retained %d spans, want 800", root.Len())
+	}
+}
+
 func TestAttrJSON(t *testing.T) {
 	sp := Span{Name: "s", Attrs: []Attr{
 		{Key: "action", Kind: KindString, Str: "algorithm2"},

@@ -69,10 +69,9 @@ func (s *Snapshot) TrainingData() ([][]float64, []float64) { return s.xs, s.ys }
 // returned value.
 func (l *ModelLibrary) Save(w io.Writer) (skipped int, err error) {
 	doc := libraryDoc{Version: 1}
-	// Collect the persistable training sets under the read lock, but keep
-	// the (potentially slow) writer outside the critical section.
-	l.mu.RLock()
-	for _, e := range l.entries {
+	// The COW snapshot is immutable, so no lock is needed: this serializes
+	// a consistent point-in-time view even while writers keep publishing.
+	for _, e := range l.snapshot() {
 		td, ok := e.Model.(TrainingData)
 		if !ok {
 			skipped++
@@ -81,7 +80,6 @@ func (l *ModelLibrary) Save(w io.Writer) (skipped int, err error) {
 		xs, ys := td.TrainingData()
 		doc.Models = append(doc.Models, modelDoc{RateRPS: e.RateRPS, Inputs: xs, Targets: ys})
 	}
-	l.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return skipped, enc.Encode(doc)

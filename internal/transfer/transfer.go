@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"autrascale/internal/gp"
 )
@@ -81,19 +82,43 @@ type Entry struct {
 // ModelLibrary is the Plan stage's model store (§IV): benefit models keyed
 // by the input data rate they were trained at. It is safe for concurrent
 // use — a fleet of controllers shares one library, publishing models from
-// worker goroutines while submissions read it for warm starts. The stored
-// Predictor values themselves are not synchronized by the library;
-// callers that share a model across jobs must hand each job its own copy
-// (e.g. refit from TrainingData).
+// worker goroutines while submissions read it for warm starts.
+//
+// The store is copy-on-write: an atomic pointer to an immutable slice
+// sorted by rate. Readers (Nearest, Get, Rates, Entries, Save) never take
+// a lock — they load the current snapshot and binary-search it — so a
+// fleet's warm-start lookups scale with reader count instead of
+// serializing on a mutex. Writers clone the slice under a small mutex
+// that only other writers contend on.
+//
+// The stored Predictor values themselves are not synchronized by the
+// library; callers that share a model across jobs must hand each job its
+// own copy (e.g. refit from TrainingData).
 type ModelLibrary struct {
-	mu      sync.RWMutex
-	entries []Entry
+	writeMu sync.Mutex              // serializes writers; readers never take it
+	entries atomic.Pointer[[]Entry] // immutable, sorted by RateRPS ascending
 }
 
 // NewModelLibrary returns an empty library.
 func NewModelLibrary() *ModelLibrary { return &ModelLibrary{} }
 
-// Put stores (or replaces) the model for a rate.
+// snapshot returns the current immutable entry slice (nil when empty).
+func (l *ModelLibrary) snapshot() []Entry {
+	p := l.entries.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// searchRate returns the first index whose rate is >= rateRPS.
+func searchRate(entries []Entry, rateRPS float64) int {
+	return sort.Search(len(entries), func(i int) bool { return entries[i].RateRPS >= rateRPS })
+}
+
+// Put stores (or replaces) the model for a rate. The visible snapshot
+// switches atomically: concurrent readers see either the old or the new
+// library, never a partial write.
 func (l *ModelLibrary) Put(rateRPS float64, model Predictor) error {
 	if rateRPS <= 0 {
 		return errors.New("transfer: rate must be > 0")
@@ -101,66 +126,76 @@ func (l *ModelLibrary) Put(rateRPS float64, model Predictor) error {
 	if model == nil {
 		return errors.New("transfer: nil model")
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for i := range l.entries {
-		if l.entries[i].RateRPS == rateRPS {
-			l.entries[i].Model = model
-			return nil
-		}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	cur := l.snapshot()
+	i := searchRate(cur, rateRPS)
+	next := make([]Entry, len(cur), len(cur)+1)
+	copy(next, cur)
+	if i < len(cur) && cur[i].RateRPS == rateRPS {
+		next[i].Model = model
+	} else {
+		next = append(next, Entry{})
+		copy(next[i+1:], next[i:])
+		next[i] = Entry{RateRPS: rateRPS, Model: model}
 	}
-	l.entries = append(l.entries, Entry{RateRPS: rateRPS, Model: model})
-	sort.Slice(l.entries, func(i, j int) bool { return l.entries[i].RateRPS < l.entries[j].RateRPS })
+	l.entries.Store(&next)
 	return nil
 }
 
 // Len returns the number of stored models.
-func (l *ModelLibrary) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.entries)
-}
+func (l *ModelLibrary) Len() int { return len(l.snapshot()) }
 
 // Get returns the model trained exactly at rateRPS.
 func (l *ModelLibrary) Get(rateRPS float64) (Predictor, bool) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	for _, e := range l.entries {
-		if e.RateRPS == rateRPS {
-			return e.Model, true
-		}
+	entries := l.snapshot()
+	i := searchRate(entries, rateRPS)
+	if i < len(entries) && entries[i].RateRPS == rateRPS {
+		return entries[i].Model, true
 	}
 	return nil, false
 }
 
 // Nearest returns the stored model whose rate is closest to rateRPS
-// (Algorithm 2's M_{c−1}); ok is false when the library is empty.
+// (Algorithm 2's M_{c−1}); ok is false when the library is empty. The
+// lookup is a lock-free binary search; an exact tie between two
+// neighboring rates resolves to the lower rate (matching the historical
+// first-wins linear scan).
 func (l *ModelLibrary) Nearest(rateRPS float64) (Entry, bool) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if len(l.entries) == 0 {
+	entries := l.snapshot()
+	if len(entries) == 0 {
 		return Entry{}, false
 	}
-	best := l.entries[0]
-	bestDist := abs(best.RateRPS - rateRPS)
-	for _, e := range l.entries[1:] {
-		if d := abs(e.RateRPS - rateRPS); d < bestDist {
-			best, bestDist = e, d
-		}
+	i := searchRate(entries, rateRPS)
+	switch {
+	case i == 0:
+		return entries[0], true
+	case i == len(entries):
+		return entries[len(entries)-1], true
 	}
-	return best, true
+	left, right := entries[i-1], entries[i]
+	if abs(left.RateRPS-rateRPS) <= abs(right.RateRPS-rateRPS) {
+		return left, true
+	}
+	return right, true
 }
 
 // Rates lists the stored rates in ascending order.
 func (l *ModelLibrary) Rates() []float64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	out := make([]float64, len(l.entries))
-	for i, e := range l.entries {
+	entries := l.snapshot()
+	out := make([]float64, len(entries))
+	for i, e := range entries {
 		out[i] = e.RateRPS
 	}
 	return out
 }
+
+// Entries returns the current immutable snapshot, sorted by rate
+// ascending. The returned slice is shared with concurrent readers and
+// MUST NOT be modified; it is valid forever (later Puts swap in a new
+// slice). Hot paths (the fleet's round barrier) iterate it instead of
+// allocating through Rates/Get pairs.
+func (l *ModelLibrary) Entries() []Entry { return l.snapshot() }
 
 func abs(x float64) float64 {
 	if x < 0 {

@@ -189,3 +189,62 @@ func TestNearestProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The binary-search Nearest must agree with the old linear scan on its
+// edge cases: exact hits, exact midpoints (tie resolves to the lower
+// rate, the historical first-wins behavior), and queries outside the
+// stored range on either side.
+func TestNearestBinarySearchEdgeCases(t *testing.T) {
+	l := NewModelLibrary()
+	zero := fnPredictor(func(x []float64) float64 { return 0 })
+	for _, rate := range []float64{1000, 2000, 4000, 8000} {
+		if err := l.Put(rate, zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name  string
+		query float64
+		want  float64
+	}{
+		{"exact-hit-lowest", 1000, 1000},
+		{"exact-hit-middle", 4000, 4000},
+		{"exact-hit-highest", 8000, 8000},
+		{"midpoint-ties-to-lower", 1500, 1000},
+		{"midpoint-ties-to-lower-high", 6000, 4000},
+		{"just-above-midpoint", 1501, 2000},
+		{"just-below-midpoint", 2999, 2000},
+		{"below-range", 50, 1000},
+		{"above-range", 1e6, 8000},
+	}
+	for _, c := range cases {
+		e, ok := l.Nearest(c.query)
+		if !ok {
+			t.Fatalf("%s: Nearest(%v) found nothing", c.name, c.query)
+		}
+		if e.RateRPS != c.want {
+			t.Errorf("%s: Nearest(%v) = %v, want %v", c.name, c.query, e.RateRPS, c.want)
+		}
+	}
+
+	// Entries exposes the immutable sorted snapshot.
+	entries := l.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("Entries returned %d entries, want 4", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].RateRPS >= entries[i].RateRPS {
+			t.Fatalf("Entries not sorted at %d: %v >= %v", i, entries[i-1].RateRPS, entries[i].RateRPS)
+		}
+	}
+	// The snapshot is stable across later writes.
+	if err := l.Put(3000, zero); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatal("previously taken snapshot changed length after Put")
+	}
+	if len(l.Entries()) != 5 {
+		t.Fatalf("new snapshot has %d entries, want 5", len(l.Entries()))
+	}
+}
