@@ -51,6 +51,8 @@ import (
 	"autrascale/internal/gp"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
+	"autrascale/internal/slo"
+	"autrascale/internal/trace"
 	"autrascale/internal/transfer"
 	"autrascale/internal/workloads"
 )
@@ -321,7 +323,42 @@ type (
 	FleetStatus = fleet.Status
 	// FleetJobStatus summarizes one job inside a snapshot.
 	FleetJobStatus = fleet.JobStatus
+	// FleetHealth is the fleet's incremental burn-rate health aggregate.
+	FleetHealth = fleet.FleetHealth
+	// FleetBurnRank is one entry of the fleet's worst-burn ranking.
+	FleetBurnRank = fleet.BurnRank
 )
+
+// ---- SLO tracking and the flight recorder (internal/slo, internal/trace) ----
+
+type (
+	// SLOConfig parameterizes a per-job SLO tracker (burn-rate windows
+	// and thresholds); set it on ControllerConfig.SLO.
+	SLOConfig = slo.Config
+	// SLOHealth is a tracker's point-in-time burn-rate report.
+	SLOHealth = slo.Health
+	// SLOState classifies a job: healthy, degraded, or burning.
+	SLOState = slo.State
+	// FlightRecorder is the bounded structured event journal linking
+	// decisions, BO iterations, rescales, and chaos injections.
+	FlightRecorder = trace.FlightRecorder
+	// FlightRecord is one flight-recorder event.
+	FlightRecord = trace.Record
+)
+
+// SLO health states, from best to worst.
+const (
+	SLOHealthy  = slo.StateHealthy
+	SLODegraded = slo.StateDegraded
+	SLOBurning  = slo.StateBurning
+)
+
+// NewFlightRecorder builds a flight recorder retaining the most recent
+// capacity records (trace.DefaultFlightCapacity when capacity <= 0).
+// Attach it to a tracer with Tracer.AttachFlight.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return trace.NewFlightRecorder(capacity)
+}
 
 // Fleet job lifecycle states and sentinel errors.
 const (

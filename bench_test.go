@@ -11,6 +11,8 @@
 package autrascale_test
 
 import (
+	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"autrascale/internal/fleet"
 	"autrascale/internal/gp"
 	"autrascale/internal/mat"
+	"autrascale/internal/metrics"
 	"autrascale/internal/stat"
 	"autrascale/internal/trace"
 	"autrascale/internal/transfer"
@@ -394,7 +397,8 @@ func BenchmarkFleetTick(b *testing.B) {
 		fl.Round()
 	}
 	b.StopTimer()
-	for _, j := range fl.Snapshot().Jobs {
+	jobs, _ := fl.JobsPage(0, 0)
+	for _, j := range jobs {
 		if j.State != fleet.StateRunning {
 			b.Fatalf("job %s left running state: %s (%s)", j.Name, j.State, j.Error)
 		}
@@ -475,7 +479,8 @@ func BenchmarkFleetTick10k(b *testing.B) {
 	}
 	b.StopTimer()
 	running := 0
-	for _, j := range fl.Snapshot().Jobs {
+	jobs, _ := fl.JobsPage(0, 0)
+	for _, j := range jobs {
 		if j.State == fleet.StateRunning {
 			running++
 		} else {
@@ -483,6 +488,36 @@ func BenchmarkFleetTick10k(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(running), "jobs")
+}
+
+// BenchmarkExposition10k measures rendering a 10,000-series store to the
+// Prometheus text format — the /metrics scrape cost at fleet scale. The
+// benchcmp gate holds its ns/op so the sorted, deterministic exposition
+// stays affordable at a 10k-job fleet's cardinality.
+func BenchmarkExposition10k(b *testing.B) {
+	store := metrics.NewStore()
+	for i := 0; i < 10000; i++ {
+		store.MustRecord("autrascale.fleet.lag",
+			map[string]string{"job": fmt.Sprintf("job-%05d", i)}, float64(i), float64(i*3))
+	}
+	for i := 0; i < 64; i++ {
+		tags := map[string]string{"job": fmt.Sprintf("job-%05d", i)}
+		store.Counter("autrascale.decisions", tags).Add(float64(i))
+		h := store.Histogram("autrascale.bo.iterations", tags, []float64{1, 2, 5, 10, 20})
+		for k := 0; k <= i%7; k++ {
+			h.Observe(float64(k * 3))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := store.WriteExposition(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			b.Fatal("empty exposition")
+		}
+	}
 }
 
 // flatPredictor is a minimal transfer.Predictor for library benchmarks.

@@ -5,7 +5,7 @@
 //
 //	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
 //	           [-seed N] [-mode controller|once] [-explain] [-chaos profile]
-//	           [-jobs N]
+//	           [-jobs N] [-flight out.jsonl]
 //
 // Modes:
 //
@@ -31,6 +31,11 @@
 // configuration" report: the Eq. 3 base, each BO iteration's posterior
 // and Eq. 9 margin, and (for transfer) which library model seeded the
 // search.
+//
+// With -flight PATH the run keeps a flight recorder — a bounded journal
+// of decision, BO-iteration, rescale and chaos events linked by
+// correlation id — and dumps it to PATH as JSONL on exit (see
+// docs/observability.md for the record schema).
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
+	"autrascale/internal/trace"
 	"autrascale/internal/workloads"
 )
 
@@ -59,6 +65,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print a 'why this configuration' report per decision")
 		chaosProf = flag.String("chaos", "none", "fault-injection profile: none | light | heavy")
 		jobs      = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
+		flightOut = flag.String("flight", "", "write the flight recorder journal to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -80,8 +87,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -flight: attach a flight recorder to a tracer shared by the
+	// engine, controller, and (in fleet mode) every job's conduit, and
+	// dump the journal on exit.
+	var tracer *trace.Tracer
+	if *flightOut != "" {
+		tracer = trace.New(0)
+		tracer.AttachFlight(trace.NewFlightRecorder(0))
+	}
+
 	if *jobs > 0 {
-		runFleet(spec, *jobs, *rate, *latency, *duration, *seed, profile)
+		runFleet(spec, *jobs, *rate, *latency, *duration, *seed, profile, tracer)
+		dumpFlight(tracer, *flightOut)
 		return
 	}
 	var injector *chaos.Injector
@@ -98,6 +115,7 @@ func main() {
 		Seed:     *seed,
 		Chaos:    injector,
 		Store:    store,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -107,12 +125,34 @@ func main() {
 	case "once":
 		runOnce(engine, spec, *rate, *latency, *seed, *explain)
 	case "controller":
-		runController(engine, *latency, *duration, *seed, *explain)
+		runController(engine, *latency, *duration, *seed, *explain, tracer)
 	default:
 		fmt.Fprintf(os.Stderr, "autrascale: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 	printChaosCounters(store, engine.JobName())
+	dumpFlight(tracer, *flightOut)
+}
+
+// dumpFlight writes the flight recorder's journal to path as JSONL.
+func dumpFlight(tracer *trace.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	fl := tracer.Flight()
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fl.WriteJSONL(f, 0); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flight recorder: %d records written to %s (%d dropped by the ring)\n",
+		fl.Len(), path, fl.Dropped())
 }
 
 // printChaosCounters reports the fault-handling counters after a chaos
@@ -183,10 +223,12 @@ func runOnce(engine *flink.Engine, spec workloads.Spec, rate, latency float64, s
 	}
 }
 
-func runController(engine *flink.Engine, latency, duration float64, seed uint64, explain bool) {
+func runController(engine *flink.Engine, latency, duration float64, seed uint64,
+	explain bool, tracer *trace.Tracer) {
 	ctl, err := core.NewController(engine, core.ControllerConfig{
 		TargetLatencyMS: latency,
 		Seed:            seed,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -213,13 +255,14 @@ func runController(engine *flink.Engine, latency, duration float64, seed uint64,
 // cold at t=0, the other half joining at duration/2 to demonstrate
 // cross-job warm starts, then a per-job summary table.
 func runFleet(spec workloads.Spec, jobs int, rate, latency, duration float64,
-	seed uint64, profile chaos.Profile) {
+	seed uint64, profile chaos.Profile, tracer *trace.Tracer) {
 	store := metrics.NewStore()
 	fl, err := fleet.New(fleet.Config{
 		TotalCores: jobs * 32, // StaggeredJobs default: 2 machines × 16 cores each
 		Seed:       seed,
 		Chaos:      profile,
 		Store:      store,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -248,12 +291,15 @@ func runFleet(spec workloads.Spec, jobs int, rate, latency, duration float64,
 
 	st := fl.Snapshot()
 	fmt.Printf("fleet: %d jobs, %d/%d cores, %d rounds, %d warm starts, %d models shared\n",
-		len(st.Jobs), st.UsedCores, st.TotalCores, st.Rounds,
+		st.Jobs, st.UsedCores, st.TotalCores, st.Rounds,
 		int(store.Counter("autrascale.fleet.warmstarts", nil).Value()),
 		int(store.Counter("autrascale.fleet.models_published", nil).Value()))
+	fmt.Printf("health: %d healthy, %d degraded, %d burning, %d quarantined\n",
+		st.Health.Healthy, st.Health.Degraded, st.Health.Burning, st.Health.Quarantined)
 	fmt.Printf("%-16s %-12s %-10s %-8s %-11s %-12s %s\n",
 		"job", "state", "rate(rps)", "slots", "decisions", "first-plan", "trials")
-	for _, js := range st.Jobs {
+	jobStatuses, _ := fl.JobsPage(0, 0)
+	for _, js := range jobStatuses {
 		decisions, err := fl.Decisions(js.Name)
 		if err != nil {
 			fatal(err)

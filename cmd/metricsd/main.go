@@ -3,10 +3,15 @@
 // paper's MAPE loop made scrapeable:
 //
 //	/metrics          Prometheus text exposition: every simulator series
-//	                  plus controller counters and histograms
+//	                  plus controller counters/histograms and the daemon's
+//	                  own runtime metrics (autrascale.runtime.*)
 //	/status           JSON snapshot (current parallelism, rates, events)
 //	/debug/decisions  JSON decision reports (why each configuration won)
-//	/debug/fleet      fleet mode: per-job states, capacity, shared models
+//	/debug/fleet      fleet mode: summary + paginated per-job listing
+//	                  (?offset=&limit=, streamed)
+//	/debug/health     SLO burn-rate health: the fleet aggregate (fleet
+//	                  mode) or the single job's tracker report
+//	/debug/flight     the flight recorder's journal as JSONL (?n=K)
 //	/debug/trace      recent spans from the decision-path tracer
 //	/debug/pprof/     standard Go profiling endpoints
 //	/healthz          liveness
@@ -53,6 +58,7 @@ type server struct {
 	ctl    *core.Controller
 	store  *metrics.Store
 	tracer *trace.Tracer
+	flight *trace.FlightRecorder
 	err    error
 	// fleet is set in -jobs mode; engine/ctl are nil then (the fleet owns
 	// its jobs' engines and controllers, and has its own lock).
@@ -97,6 +103,8 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 
 	store := metrics.NewStore()
 	tracer := trace.New(cfg.TraceCapacity)
+	flight := trace.NewFlightRecorder(0)
+	tracer.AttachFlight(flight)
 
 	if cfg.Jobs > 0 {
 		fl, err := fleet.New(fleet.Config{
@@ -114,7 +122,7 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 				return nil, spec, err
 			}
 		}
-		return &server{fleet: fl, store: store, tracer: tracer}, spec, nil
+		return &server{fleet: fl, store: store, tracer: tracer, flight: flight}, spec, nil
 	}
 
 	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{
@@ -136,7 +144,7 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 	if err != nil {
 		return nil, spec, err
 	}
-	return &server{engine: engine, ctl: ctl, store: store, tracer: tracer}, spec, nil
+	return &server{engine: engine, ctl: ctl, store: store, tracer: tracer, flight: flight}, spec, nil
 }
 
 // routes builds the HTTP mux. Factored out so tests can hit the handlers
@@ -147,6 +155,8 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/debug/decisions", s.handleDecisions)
 	mux.HandleFunc("/debug/fleet", s.handleFleet)
+	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -225,6 +235,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.store.WriteExposition(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The daemon's own runtime telemetry rides the same scrape.
+	if err := metrics.WriteRuntimeExposition(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
@@ -300,15 +315,114 @@ func (s *server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, reports)
 }
 
-// handleFleet serves the fleet snapshot: the shared clock, capacity
-// budget, every job's state (running / quarantined / drained, warm-start
-// provenance), and the shared model library's contents per signature.
+// intParam parses a non-negative integer query parameter. Malformed,
+// negative, or overflowing values get a 400 — never a panic or a silent
+// full dump. An absent parameter yields def.
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		http.Error(w, fmt.Sprintf("bad %s %q: want a non-negative integer", name, raw),
+			http.StatusBadRequest)
+		return 0, false
+	}
+	return v, true
+}
+
+// fleetPageChunk bounds how many job statuses handleFleet materializes
+// at a time: the listing is streamed chunk by chunk, so a full dump of a
+// 10k-job fleet never builds the whole array in memory.
+const fleetPageChunk = 256
+
+// handleFleet serves the fleet summary (clock, capacity, health
+// aggregate, shared models) plus a page of the per-job listing.
+// ?offset=&limit= select the page (defaults: the whole listing,
+// streamed); invalid values are rejected with 400.
 func (s *server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if s.fleet == nil {
 		http.Error(w, "fleet mode disabled (run with -jobs N)", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, s.fleet.Snapshot())
+	offset, ok := intParam(w, r, "offset", 0)
+	if !ok {
+		return
+	}
+	limit, ok := intParam(w, r, "limit", 0)
+	if !ok {
+		return
+	}
+	summary, err := json.Marshal(s.fleet.Snapshot())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Stream: summary first, then the jobs array one chunk at a time.
+	// Jobs submitted or removed between chunks can shift pages — a
+	// debug endpoint trades that for bounded memory.
+	fmt.Fprintf(w, "{\"summary\":%s,\"offset\":%d,\"limit\":%d,\"jobs\":[", summary, offset, limit)
+	written, first := 0, true
+	for off := offset; ; {
+		n := fleetPageChunk
+		if limit > 0 && limit-written < n {
+			n = limit - written
+		}
+		if n == 0 {
+			break
+		}
+		page, _ := s.fleet.JobsPage(off, n)
+		if len(page) == 0 {
+			break
+		}
+		for _, js := range page {
+			blob, err := json.Marshal(js)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !first {
+				w.Write([]byte{','})
+			}
+			first = false
+			w.Write(blob)
+		}
+		written += len(page)
+		off += len(page)
+		if len(page) < n {
+			break
+		}
+	}
+	fmt.Fprint(w, "]}")
+}
+
+// handleHealth serves the SLO burn-rate view: the fleet's incremental
+// aggregate in fleet mode (O(TopBurnK), never a walk of the jobs), or
+// the single job's tracker report otherwise.
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		writeJSON(w, s.fleet.HealthSnapshot())
+		return
+	}
+	s.mu.Lock()
+	h := s.ctl.SLOHealth()
+	s.mu.Unlock()
+	writeJSON(w, h)
+}
+
+// handleFlight dumps the flight recorder's journal as JSONL, oldest
+// first. ?n=K keeps only the most recent K records.
+func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n > 0 {
+		limit = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.flight.WriteJSONL(w, limit); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // handleTrace serves the most recent spans from the ring buffer

@@ -196,6 +196,10 @@ func TestDebugTraceAndMetricsEndpoints(t *testing.T) {
 		"autrascale_bo_iterations_bucket",
 		`le="+Inf"`,
 		"autrascale_bo_iterations_count",
+		"autrascale_runtime_goroutines",
+		"autrascale_runtime_heap_alloc_bytes",
+		"autrascale_runtime_gc_pause_ns_bucket",
+		"autrascale_runtime_gc_pause_ns_count",
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -253,24 +257,22 @@ func TestFleetModeEndpoints(t *testing.T) {
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 
-	var fleetSnap struct {
-		NowSec     float64 `json:"now_sec"`
-		TotalCores int     `json:"total_cores"`
-		UsedCores  int     `json:"used_cores"`
-		Jobs       []struct {
-			Name      string `json:"name"`
-			State     string `json:"state"`
-			Decisions int    `json:"decisions"`
-		} `json:"jobs"`
-	}
+	var fleetSnap fleetPage
 	if err := json.Unmarshal(get(t, ts, "/debug/fleet"), &fleetSnap); err != nil {
 		t.Fatalf("decode /debug/fleet: %v", err)
 	}
 	if len(fleetSnap.Jobs) != 2 {
 		t.Fatalf("fleet snapshot lists %d jobs, want 2", len(fleetSnap.Jobs))
 	}
-	if fleetSnap.UsedCores != 64 || fleetSnap.TotalCores != 64 {
-		t.Fatalf("capacity %d/%d, want 64/64", fleetSnap.UsedCores, fleetSnap.TotalCores)
+	if fleetSnap.Summary.UsedCores != 64 || fleetSnap.Summary.TotalCores != 64 {
+		t.Fatalf("capacity %d/%d, want 64/64",
+			fleetSnap.Summary.UsedCores, fleetSnap.Summary.TotalCores)
+	}
+	if fleetSnap.Summary.Jobs != 2 {
+		t.Fatalf("summary job count = %d, want 2", fleetSnap.Summary.Jobs)
+	}
+	if fleetSnap.Summary.Health.Jobs != 2 {
+		t.Fatalf("summary health aggregate = %+v, want 2 jobs", fleetSnap.Summary.Health)
 	}
 	for _, j := range fleetSnap.Jobs {
 		if j.State != "running" {
@@ -317,6 +319,199 @@ func TestFleetModeEndpoints(t *testing.T) {
 	}
 	if body := string(get(t, ts, "/metrics")); !strings.Contains(body, "autrascale_fleet_rounds_total") {
 		t.Error("/metrics missing fleet round counter")
+	}
+}
+
+// fleetPage mirrors handleFleet's streamed response: a summary object
+// plus one page of the job listing.
+type fleetPage struct {
+	Summary struct {
+		NowSec     float64 `json:"now_sec"`
+		TotalCores int     `json:"total_cores"`
+		UsedCores  int     `json:"used_cores"`
+		Jobs       int     `json:"jobs"`
+		Health     struct {
+			Jobs    int `json:"jobs"`
+			Healthy int `json:"healthy"`
+		} `json:"health"`
+	} `json:"summary"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+	Jobs   []struct {
+		Name      string `json:"name"`
+		State     string `json:"state"`
+		Decisions int    `json:"decisions"`
+	} `json:"jobs"`
+}
+
+// /debug/fleet pagination: offset/limit slice the listing, and malformed
+// or negative values are rejected with 400 — never a panic or a silent
+// full dump.
+func TestFleetPaginationAndValidation(t *testing.T) {
+	srv, _, err := newServer(serverConfig{Workload: "wordcount", Seed: 11, Jobs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.fleet.Round()
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var full fleetPage
+	if err := json.Unmarshal(get(t, ts, "/debug/fleet"), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Jobs) != 5 || full.Summary.Jobs != 5 {
+		t.Fatalf("full listing has %d jobs (summary %d), want 5", len(full.Jobs), full.Summary.Jobs)
+	}
+
+	var page fleetPage
+	if err := json.Unmarshal(get(t, ts, "/debug/fleet?offset=1&limit=2"), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Jobs) != 2 {
+		t.Fatalf("page(1,2) has %d jobs, want 2", len(page.Jobs))
+	}
+	if page.Jobs[0].Name != full.Jobs[1].Name || page.Jobs[1].Name != full.Jobs[2].Name {
+		t.Fatalf("page(1,2) = %v, want slice [1:3] of full listing", page.Jobs)
+	}
+	if page.Offset != 1 || page.Limit != 2 {
+		t.Fatalf("page echoes offset=%d limit=%d, want 1,2", page.Offset, page.Limit)
+	}
+
+	var tail fleetPage
+	if err := json.Unmarshal(get(t, ts, "/debug/fleet?offset=4&limit=10"), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Jobs) != 1 {
+		t.Fatalf("tail page has %d jobs, want 1", len(tail.Jobs))
+	}
+	var empty fleetPage
+	if err := json.Unmarshal(get(t, ts, "/debug/fleet?offset=99"), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Jobs) != 0 {
+		t.Fatalf("past-the-end page has %d jobs, want 0", len(empty.Jobs))
+	}
+
+	for _, path := range []string{
+		"/debug/fleet?offset=-1",
+		"/debug/fleet?limit=-5",
+		"/debug/fleet?offset=abc",
+		"/debug/fleet?limit=1e3",
+		"/debug/fleet?offset=99999999999999999999", // overflows int64
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// /debug/health answers from the fleet's incremental aggregate in fleet
+// mode and from the single job's SLO tracker otherwise.
+func TestDebugHealthEndpoint(t *testing.T) {
+	srv, _, err := newServer(serverConfig{Workload: "wordcount", Seed: 7, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.fleet.Round()
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var h struct {
+		Jobs    int `json:"jobs"`
+		Healthy int `json:"healthy"`
+		TopBurn []struct {
+			Name     string  `json:"name"`
+			BurnRate float64 `json:"burn_rate"`
+		} `json:"top_burn"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/debug/health"), &h); err != nil {
+		t.Fatalf("decode fleet /debug/health: %v", err)
+	}
+	if h.Jobs != 2 {
+		t.Fatalf("fleet health reports %d jobs, want 2", h.Jobs)
+	}
+
+	single := stepServer(t)
+	if _, err := single.ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(single.routes())
+	defer ts2.Close()
+	var sh struct {
+		State        string `json:"state"`
+		Observations int    `json:"observations"`
+	}
+	if err := json.Unmarshal(get(t, ts2, "/debug/health"), &sh); err != nil {
+		t.Fatalf("decode single-job /debug/health: %v", err)
+	}
+	if sh.Observations == 0 {
+		t.Fatal("single-job SLO tracker saw no observations after a step")
+	}
+	if sh.State == "" {
+		t.Fatal("single-job health has no state")
+	}
+}
+
+// /debug/flight dumps the journal as JSONL with a decision record per
+// planning step, linked by a correlation id.
+func TestDebugFlightEndpoint(t *testing.T) {
+	srv := stepServer(t)
+	stepUntilTransfer(t, srv)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("flight journal has %d lines, want several", len(lines))
+	}
+	kinds := map[string]int{}
+	var lastSeq uint64
+	for _, line := range lines {
+		var rec trace.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing: %d after %d", rec.Seq, lastSeq)
+		}
+		lastSeq = rec.Seq
+		kinds[rec.Kind]++
+	}
+	for _, want := range []string{"decision", "bo.iteration"} {
+		if kinds[want] == 0 {
+			t.Errorf("flight journal has no %q records (kinds: %v)", want, kinds)
+		}
+	}
+
+	// ?n=K keeps only the newest K records.
+	limited := strings.Split(strings.TrimSpace(string(get(t, ts, "/debug/flight?n=2"))), "\n")
+	if len(limited) != 2 {
+		t.Fatalf("?n=2 returned %d lines", len(limited))
+	}
+	var last trace.Record
+	if err := json.Unmarshal([]byte(limited[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Seq != lastSeq {
+		t.Errorf("?n=2 newest seq = %d, want %d", last.Seq, lastSeq)
 	}
 }
 

@@ -61,9 +61,9 @@ func runFleet(seed uint64, profile autrascale.ChaosProfile, jobs int, hours floa
 	}
 	fl.RunUntil(duration)
 
-	st := fl.Snapshot()
-	traces := make([]jobTrace, 0, len(st.Jobs))
-	for _, js := range st.Jobs {
+	jobStatuses, _ := fl.JobsPage(0, 0)
+	traces := make([]jobTrace, 0, len(jobStatuses))
+	for _, js := range jobStatuses {
 		reports, err := fl.Decisions(js.Name)
 		if err != nil {
 			log.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"autrascale/internal/dataflow"
 	"autrascale/internal/flink"
 	"autrascale/internal/metrics"
+	"autrascale/internal/slo"
 	"autrascale/internal/stat"
 	"autrascale/internal/trace"
 	"autrascale/internal/transfer"
@@ -46,8 +47,15 @@ type ControllerConfig struct {
 	// through every algorithm the controller invokes. nil disables
 	// tracing at zero cost.
 	Tracer *trace.Tracer
-	// DecisionHistory bounds the retained DecisionReports (default 128).
+	// DecisionHistory bounds the retained DecisionReports (default
+	// trace.DefaultHistoryCap — the same unit that sizes the flight
+	// recorder, so a controller's full retained history fits the journal).
 	DecisionHistory int
+	// SLO parameterizes the per-job SLO tracker. TargetLatencyMS defaults
+	// to the controller's own latency target; the remaining zero-valued
+	// fields take the slo package defaults. Tracking is always on — it is
+	// a handful of float ops per step and draws no randomness.
+	SLO slo.Config
 	// EventHistory bounds the retained Events the same way
 	// DecisionHistory bounds reports (default 512 — roughly 8.5 simulated
 	// hours of steady one-per-minute steps). Long fleet soaks would
@@ -69,7 +77,7 @@ func (c *ControllerConfig) defaults() error {
 		c.RateChangeFraction = 0.1
 	}
 	if c.DecisionHistory <= 0 {
-		c.DecisionHistory = 128
+		c.DecisionHistory = trace.DefaultHistoryCap
 	}
 	if c.EventHistory <= 0 {
 		c.EventHistory = 512
@@ -111,6 +119,7 @@ type Controller struct {
 	library *transfer.ModelLibrary
 	tracer  *trace.Tracer
 	inst    *ctlInstruments
+	slo     *slo.Tracker
 
 	curRate  float64
 	rateEWMA *stat.EWMA
@@ -169,12 +178,17 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 	if lib == nil {
 		lib = transfer.NewModelLibrary()
 	}
+	sloCfg := cfg.SLO
+	if sloCfg.TargetLatencyMS <= 0 {
+		sloCfg.TargetLatencyMS = cfg.TargetLatencyMS
+	}
 	return &Controller{
 		engine:  e,
 		cfg:     cfg,
 		library: lib,
 		tracer:  cfg.Tracer,
 		inst:    newCtlInstruments(e.Store(), e.JobName()),
+		slo:     slo.New(sloCfg),
 		// Smooth the observed input rate (half-life one policy window) so the
 		// controller re-plans on sustained shifts, not window jitter.
 		rateEWMA: stat.NewEWMA(stat.HalfLifeAlpha(1)),
@@ -220,6 +234,34 @@ func (c *Controller) pushReport(r DecisionReport) {
 		n := copy(c.reports, c.reports[over:])
 		c.reports = c.reports[:n]
 	}
+	if c.tracer.FlightEnabled() {
+		c.tracer.Emit(trace.Record{
+			TimeSec: r.TimeSec,
+			Kind:    "decision",
+			Job:     c.engine.JobName(),
+			Attrs: map[string]any{
+				"action":   string(r.Action),
+				"reason":   r.Reason,
+				"rate_rps": r.RateRPS,
+				"chosen":   r.Chosen.String(),
+			},
+		})
+		for _, it := range r.Iters {
+			c.tracer.Emit(trace.Record{
+				TimeSec: r.TimeSec,
+				Kind:    "bo.iteration",
+				Job:     c.engine.JobName(),
+				Attrs: map[string]any{
+					"iter":       it.Iter,
+					"par":        it.Par.String(),
+					"score":      it.Score,
+					"eq9_margin": it.Eq9Margin,
+					"acq_value":  it.AcqValue,
+					"terminated": it.Terminated,
+				},
+			})
+		}
+	}
 	if c.inst == nil {
 		return
 	}
@@ -240,8 +282,11 @@ func (c *Controller) pushReport(r DecisionReport) {
 }
 
 // recordStepMetrics tracks per-step QoS outcomes (latency target hit or
-// miss) so scrape-side alerting does not need to parse events.
+// miss) so scrape-side alerting does not need to parse events. The same
+// call feeds the SLO tracker — one observation per policy window, so the
+// burn-rate pipeline costs O(steps), never a separate walk.
 func (c *Controller) recordStepMetrics(m flink.Measurement) {
+	c.slo.Observe(c.engine.Now(), m.ProcLatencyMS, m.LagRecords, m.InputRateRPS)
 	if c.inst == nil {
 		return
 	}
@@ -250,6 +295,9 @@ func (c *Controller) recordStepMetrics(m flink.Measurement) {
 		c.inst.violations.Inc()
 	}
 }
+
+// SLOHealth reports the job's current burn-rate classification.
+func (c *Controller) SLOHealth() slo.Health { return c.slo.Health() }
 
 // Store exposes the engine's metrics store (nil when the engine records
 // no metrics) — the scrape surface for the instruments above.
@@ -263,6 +311,10 @@ func (c *Controller) Step() (Event, error) {
 	e := c.engine
 	sp := c.tracer.StartSpan("mape.step")
 	defer sp.End()
+	// The step's span id is the correlation id: every flight record the
+	// engine emits while this step is in flight (rescale attempts, chaos
+	// injections) joins this decision's causal chain.
+	c.tracer.SetCorr(sp.ID())
 	// Monitor: observe one policy window.
 	msp := sp.Child("mape.monitor")
 	m := e.RunAndMeasure(0, c.cfg.PolicyIntervalSec)

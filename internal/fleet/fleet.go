@@ -224,6 +224,11 @@ type job struct {
 	offsetSec float64 // fleet clock at submission; the job's time origin
 	steps     int     // MAPE steps taken
 
+	// health and burn mirror the job's slot in the fleet's incremental
+	// health aggregate (health.go), updated only on transitions.
+	health healthClass
+	burn   float64
+
 	warmStarted    bool
 	warmSourceRate float64
 	published      map[float64]bool // rates already in the shared library
@@ -257,6 +262,13 @@ type Fleet struct {
 	// shared maps workload signature → the fleet-level model library new
 	// submissions warm-start from.
 	shared map[string]*transfer.ModelLibrary
+	// health is the incremental aggregate (health.go) Snapshot and
+	// /debug/health answer from without walking jobs.
+	health healthAgg
+	// barrierVisited counts jobs handled at round barriers, cumulatively —
+	// the observable that proves the per-round cost is O(due), not
+	// O(jobs) (see TestFleetBarrierIsODue).
+	barrierVisited int
 }
 
 // workerShard accumulates one round worker's telemetry locally; the
@@ -437,6 +449,7 @@ func (f *Fleet) Submit(spec JobSpec) error {
 	f.jobs[spec.Name] = j
 	f.order = append(f.order, spec.Name)
 	f.usedCores += spec.cores()
+	f.healthAdmit(j)
 	// The engine clock starts at 0, so the job is due at the next round.
 	f.wheel.push(wheelEntry{key: j.offsetSec + j.engine.Now(), seq: j.seq, job: j})
 	j.tracer.Flush() // construction-time spans
@@ -520,6 +533,7 @@ func (f *Fleet) Drain(name string) error {
 	}
 	f.usedCores -= j.spec.cores()
 	j.state = StateDrained
+	f.healthDrain(j)
 	j.tracer.Flush()
 	if f.inst != nil {
 		f.inst.drained.Inc()
@@ -539,6 +553,7 @@ func (f *Fleet) Remove(name string) error {
 	if j.state != StateDrained {
 		f.usedCores -= j.spec.cores()
 	}
+	f.healthRemove(j)
 	delete(f.jobs, name)
 	for i, n := range f.order {
 		if n == name {
@@ -642,8 +657,10 @@ func (f *Fleet) Round() {
 	// reproducible. Quarantined jobs leave the wheel by omission.
 	quarantined := 0
 	for _, j := range due {
+		f.barrierVisited++
 		if j.err != nil {
 			j.state = StateQuarantined
+			f.healthQuarantine(j)
 			quarantined++
 			if f.inst != nil {
 				f.inst.quarantined.Inc()
@@ -655,9 +672,20 @@ func (f *Fleet) Round() {
 				qsp.SetStr("error", j.err.Error())
 				qsp.End()
 			}
+			if j.tracer.FlightEnabled() {
+				// The conduit still carries the failing step's correlation
+				// id, so the quarantine joins that decision's causal chain.
+				j.tracer.Emit(trace.Record{
+					TimeSec: f.nowSec,
+					Kind:    "fleet.quarantine",
+					Job:     j.spec.Name,
+					Attrs:   map[string]any{"error": j.err.Error()},
+				})
+			}
 			j.tracer.Flush()
 			continue
 		}
+		f.healthObserve(j)
 		f.publishModels(j)
 		f.wheel.push(wheelEntry{key: j.offsetSec + j.engine.Now(), seq: j.seq, job: j})
 		j.tracer.Flush()

@@ -142,9 +142,9 @@ func TestFleetQuarantineKeepsOthersRunning(t *testing.T) {
 	}
 	f.RunUntil(7200)
 
-	st := f.Snapshot()
+	jobs, _ := f.JobsPage(0, 0)
 	byName := map[string]JobStatus{}
-	for _, j := range st.Jobs {
+	for _, j := range jobs {
 		byName[j.Name] = j
 	}
 	if byName["bad"].State != StateQuarantined {
@@ -208,9 +208,9 @@ func TestFleetWarmStartFewerIterations(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Round()
-	st := f.Snapshot()
+	jobs, _ := f.JobsPage(0, 0)
 	var warmStatus JobStatus
-	for _, j := range st.Jobs {
+	for _, j := range jobs {
 		if j.Name == "warm" {
 			warmStatus = j
 		}

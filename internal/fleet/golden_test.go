@@ -59,8 +59,8 @@ func goldenFleet(t testing.TB, workers int) []goldenJob {
 	f.RunUntil(14400)
 
 	var out []goldenJob
-	st := f.Snapshot()
-	for _, js := range st.Jobs {
+	jobs, _ := f.JobsPage(0, 0)
+	for _, js := range jobs {
 		decisions, err := f.Decisions(js.Name)
 		if err != nil {
 			t.Fatal(err)

@@ -336,6 +336,19 @@ func (e *Engine) SetParallelism(p dataflow.ParallelismVector) error {
 			sp.SetFloat("backoff_sec", backoff)
 			sp.End()
 		}
+		if e.tracer.FlightEnabled() {
+			e.tracer.Emit(trace.Record{
+				TimeSec: e.nowSec,
+				Kind:    "rescale.attempt",
+				Job:     e.jobName,
+				Attrs: map[string]any{
+					"to":      p.String(),
+					"attempt": attempt,
+					"ok":      false,
+					"gave_up": exhausted,
+				},
+			})
+		}
 		if exhausted {
 			return fmt.Errorf("%w: %s after %d attempt(s)", ErrRescaleFailed, p, attempt)
 		}
@@ -358,6 +371,19 @@ func (e *Engine) applyRescale(p dataflow.ParallelismVector, attempt int) {
 		sp.SetInt("attempt", attempt)
 		sp.SetFloat("downtime_sec", down)
 		sp.End()
+	}
+	if e.tracer.FlightEnabled() {
+		e.tracer.Emit(trace.Record{
+			TimeSec: e.nowSec,
+			Kind:    "rescale",
+			Job:     e.jobName,
+			Attrs: map[string]any{
+				"from":         e.par.String(),
+				"to":           p.String(),
+				"attempt":      attempt,
+				"downtime_sec": down,
+			},
+		})
 	}
 	if e.store != nil {
 		e.store.Counter("flink.rescales", map[string]string{"job": e.jobName}).Inc()
@@ -574,6 +600,14 @@ func (e *Engine) applyChaosSchedules() {
 			err = e.FailMachine(name)
 		} else {
 			err = e.RecoverMachine(name)
+		}
+		if err == nil && e.tracer.FlightEnabled() {
+			e.tracer.Emit(trace.Record{
+				TimeSec: e.nowSec,
+				Kind:    "chaos.machine",
+				Job:     e.jobName,
+				Attrs:   map[string]any{"machine": name, "down": ev.Down},
+			})
 		}
 		if err != nil && e.tracer.Enabled() {
 			sp := e.tracer.StartSpan("flink.chaos_event_skipped")

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"bytes"
+	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -32,6 +34,118 @@ func TestWriteExposition(t *testing.T) {
 	// Deterministic ordering: lag (k...) before taskmanager (t...).
 	if strings.Index(out, "kafka_consumer") > strings.Index(out, "taskmanager_") {
 		t.Fatalf("series not sorted:\n%s", out)
+	}
+}
+
+// A 10k-series store must render the exact same byte stream every time:
+// a scraper diffing two exposures of identical state must see no churn
+// from map iteration order.
+func TestWriteExposition10kDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := NewStore()
+		for i := 0; i < 10000; i++ {
+			s.MustRecord("autrascale.fleet.lag",
+				map[string]string{"job": fmt.Sprintf("job-%05d", i), "shard": fmt.Sprintf("%d", i%4)},
+				float64(i), float64(i*3))
+		}
+		for i := 0; i < 64; i++ {
+			s.Counter("autrascale.decisions", map[string]string{"job": fmt.Sprintf("job-%05d", i)}).Add(float64(i))
+			h := s.Histogram("autrascale.bo.iterations",
+				map[string]string{"job": fmt.Sprintf("job-%05d", i)}, []float64{1, 2, 5, 10, 20})
+			for k := 0; k <= i%7; k++ {
+				h.Observe(float64(k * 3))
+			}
+		}
+		return s
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteExposition(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two identical 10k-series stores rendered different expositions")
+	}
+
+	// Sorted output: every series line's (name, labels) prefix must be
+	// non-decreasing.
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) < 10000 {
+		t.Fatalf("only %d lines for a 10k-series store", len(lines))
+	}
+	gauges := 0
+	for i := 1; i < len(lines); i++ {
+		if strings.HasPrefix(lines[i], "autrascale_fleet_lag") {
+			gauges++
+			if strings.HasPrefix(lines[i-1], "autrascale_fleet_lag") && lines[i-1] > lines[i] {
+				t.Fatalf("series out of order:\n%s\n%s", lines[i-1], lines[i])
+			}
+		}
+	}
+	if gauges < 9999 {
+		t.Fatalf("exposition dropped series: %d lag lines, want 10000", gauges+1)
+	}
+}
+
+// Histogram buckets must come out in ascending bound order with
+// monotonically non-decreasing cumulative counts, +Inf last.
+func TestWriteExpositionHistogramBucketOrder(t *testing.T) {
+	s := NewStore()
+	h := s.Histogram("autrascale.bo.iterations", nil, []float64{1, 5, 10, 50, 100})
+	for _, v := range []float64{0.5, 3, 7, 7, 60, 999} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var bounds []float64
+	var counts []uint64
+	infSeen := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "autrascale_bo_iterations_bucket") {
+			continue
+		}
+		if infSeen {
+			t.Fatalf("bucket after +Inf: %s", line)
+		}
+		var le string
+		var n uint64
+		if _, err := fmt.Sscanf(line, `autrascale_bo_iterations_bucket{le=%q} %d`, &le, &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if le == "+Inf" {
+			infSeen = true
+			if n != 6 {
+				t.Fatalf("+Inf bucket = %d, want 6 (all samples)", n)
+			}
+			continue
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, b)
+		counts = append(counts, n)
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket")
+	}
+	if len(bounds) != 5 {
+		t.Fatalf("got %d finite buckets, want 5", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bucket bounds not ascending: %v", bounds)
+		}
+		if counts[i] < counts[i-1] {
+			t.Fatalf("cumulative counts decreased: %v", counts)
+		}
+	}
+	if want := []uint64{1, 2, 4, 4, 5}; fmt.Sprint(counts) != fmt.Sprint(want) {
+		t.Fatalf("cumulative counts = %v, want %v", counts, want)
 	}
 }
 

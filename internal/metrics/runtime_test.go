@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteRuntimeExposition(t *testing.T) {
+	runtime.GC() // guarantee at least one pause sample
+	var buf bytes.Buffer
+	if err := WriteRuntimeExposition(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"autrascale_runtime_goroutines ",
+		"autrascale_runtime_heap_alloc_bytes ",
+		"autrascale_runtime_heap_sys_bytes ",
+		"autrascale_runtime_gc_pause_ns_bucket{le=\"+Inf\"} ",
+		"autrascale_runtime_gc_pause_ns_sum ",
+		"autrascale_runtime_gc_pause_ns_count ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Parse the pause histogram: bounds ascending, cumulative counts
+	// non-decreasing, +Inf equals the recent-pause total.
+	var bounds []float64
+	var counts []int
+	infCount := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "autrascale_runtime_gc_pause_ns_bucket") {
+			continue
+		}
+		var le string
+		var n int
+		if _, err := fmt.Sscanf(line, `autrascale_runtime_gc_pause_ns_bucket{le=%q} %d`, &le, &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if le == "+Inf" {
+			infCount = n
+			continue
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, b)
+		counts = append(counts, n)
+	}
+	if len(bounds) != len(gcPauseBucketsNs) {
+		t.Fatalf("got %d finite buckets, want %d", len(bounds), len(gcPauseBucketsNs))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending: %v", bounds)
+		}
+		if counts[i] < counts[i-1] {
+			t.Fatalf("cumulative counts decreased: %v", counts)
+		}
+	}
+	if infCount < 1 {
+		t.Fatalf("+Inf bucket = %d, want >= 1 after an explicit GC", infCount)
+	}
+	if counts[len(counts)-1] > infCount {
+		t.Fatalf("largest finite bucket %d exceeds +Inf %d", counts[len(counts)-1], infCount)
+	}
+
+	// The goroutine gauge must carry a plausible live value.
+	for _, line := range strings.Split(out, "\n") {
+		if v, ok := strings.CutPrefix(line, "autrascale_runtime_goroutines "); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				t.Fatalf("goroutine count %q", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package slo tracks per-job service-level objectives for the fleet's
+// observability pipeline: a latency-violation budget and a lag budget,
+// each watched through a pair of exponentially decayed windows (a fast
+// window that reacts within minutes and a slow window that remembers an
+// hour), reduced to SRE-style *burn rates* — how many times faster than
+// the budget allows the job is spending its error budget.
+//
+// The design follows the multi-window, multi-burn-rate alerting pattern
+// from the Google SRE workbook: a job is *burning* only when both the
+// fast and the slow window agree the budget is being spent far faster
+// than sustainable (a short spike alone does not page), and *degraded*
+// when the budget is being consumed at an unsustainable but not yet
+// alarming rate.
+//
+// # Cost model
+//
+// A tracker is fed one observation per MAPE step — the same call path
+// that increments the `autrascale.latency.violations` counter — so the
+// fleet pays O(due jobs) per round for SLO tracking, never O(jobs).
+// Observe is a handful of float operations, draws no randomness, and
+// therefore cannot perturb a seeded run: the golden traces pass
+// unchanged with tracking enabled.
+//
+// # Nil safety
+//
+// Like the tracer, the nil *Tracker is a valid disabled tracker: Observe
+// is a no-op and Health returns a zero (healthy, unobserved) report.
+package slo
+
+import "math"
+
+// State classifies a job's SLO health.
+type State string
+
+// Health states, from best to worst.
+const (
+	// StateHealthy: both budgets are being spent slower than allowed.
+	StateHealthy State = "healthy"
+	// StateDegraded: the budget is being consumed at an unsustainable
+	// rate (burn ≥ 1 on both windows) or the fast window shows an acute
+	// spike; left alone the job will exhaust its error budget.
+	StateDegraded State = "degraded"
+	// StateBurning: both windows agree the budget is burning at the
+	// page-worthy rate — the multi-window condition that pages an
+	// operator in the SRE-workbook pattern.
+	StateBurning State = "burning"
+)
+
+// Severity orders states for aggregation (healthy < degraded < burning).
+func (s State) Severity() int {
+	switch s {
+	case StateBurning:
+		return 2
+	case StateDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Config parameterizes a Tracker. The zero value is usable: every field
+// defaults to the values below.
+type Config struct {
+	// TargetLatencyMS is the latency objective; a monitor window whose
+	// processing latency exceeds it is one violation (required for the
+	// latency SLO to be meaningful; 0 disables latency violations).
+	TargetLatencyMS float64
+	// ViolationBudget is the fraction of monitor windows allowed to
+	// violate the latency target (default 0.01 — a 99% windows-good
+	// objective). Burn rate 1.0 means violations arrive exactly at
+	// budget; 14.4 means the monthly budget would be gone in ~2 days.
+	ViolationBudget float64
+	// LagBudgetSec is the backlog objective expressed in seconds of
+	// input: lag above LagBudgetSec × input-rate counts as a lag
+	// violation (default 60 — one policy interval of backlog).
+	LagBudgetSec float64
+	// FastWindowSec and SlowWindowSec are the decay time constants of
+	// the two observation windows (defaults 300 and 3600 simulated
+	// seconds).
+	FastWindowSec float64
+	SlowWindowSec float64
+	// BurnDegraded and BurnPage are the burn-rate thresholds: degraded
+	// when both windows ≥ BurnDegraded, burning when both ≥ BurnPage
+	// (defaults 1 and 14.4, the workbook's 2-day-budget-exhaustion page
+	// threshold for a 1h/5m window pair).
+	BurnDegraded float64
+	BurnPage     float64
+}
+
+func (c *Config) defaults() {
+	if c.ViolationBudget <= 0 {
+		c.ViolationBudget = 0.01
+	}
+	if c.LagBudgetSec <= 0 {
+		c.LagBudgetSec = 60
+	}
+	if c.FastWindowSec <= 0 {
+		c.FastWindowSec = 300
+	}
+	if c.SlowWindowSec <= 0 {
+		c.SlowWindowSec = 3600
+	}
+	if c.BurnDegraded <= 0 {
+		c.BurnDegraded = 1
+	}
+	if c.BurnPage <= 0 {
+		c.BurnPage = 14.4
+	}
+}
+
+// window is a time-decayed mean of a violation indicator: the fraction
+// of recent observations (weighted by simulated-time decay) that
+// violated. Unlike stat.EWMA its weight depends on the simulated time
+// between samples, so irregular step spacing (planning sessions burn
+// hours) decays correctly.
+type window struct {
+	tau     float64 // decay time constant, seconds
+	value   float64
+	lastSec float64
+	started bool
+}
+
+// observe folds in an indicator sample (1 = violated, 0 = ok) at tSec.
+func (w *window) observe(tSec, x float64) {
+	if !w.started {
+		w.value = x
+		w.lastSec = tSec
+		w.started = true
+		return
+	}
+	dt := tSec - w.lastSec
+	if dt < 0 {
+		dt = 0
+	}
+	alpha := 1 - math.Exp(-dt/w.tau)
+	w.value += alpha * (x - w.value)
+	w.lastSec = tSec
+}
+
+// Budget is the burn-rate view of one objective.
+type Budget struct {
+	// FastBurn and SlowBurn are the violation fractions of the two
+	// windows divided by the budget fraction — 1.0 means spending
+	// exactly at the sustainable rate.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+}
+
+// burn returns the budget's governing burn rate: the fast window capped
+// by the slow one, per the multi-window rule (both must agree).
+func (b Budget) burn() float64 { return math.Min(b.FastBurn, b.SlowBurn) }
+
+// Health is a tracker's point-in-time report.
+type Health struct {
+	State   State  `json:"state"`
+	Latency Budget `json:"latency"`
+	Lag     Budget `json:"lag"`
+	// BurnRate is the worst governing burn rate across budgets — the
+	// single number the fleet ranks jobs by.
+	BurnRate     float64 `json:"burn_rate"`
+	Observations int     `json:"observations"`
+	LastSec      float64 `json:"last_sec,omitempty"`
+}
+
+// Tracker watches one job's SLO budgets. It is not safe for concurrent
+// use; in the fleet each job's tracker is touched only by the worker
+// stepping that job (and read at the round barrier, after workers
+// joined).
+type Tracker struct {
+	cfg Config
+
+	latFast, latSlow window
+	lagFast, lagSlow window
+
+	observations int
+	lastSec      float64
+}
+
+// New builds a tracker; zero-value fields of cfg take the documented
+// defaults.
+func New(cfg Config) *Tracker {
+	cfg.defaults()
+	return &Tracker{
+		cfg:     cfg,
+		latFast: window{tau: cfg.FastWindowSec},
+		latSlow: window{tau: cfg.SlowWindowSec},
+		lagFast: window{tau: cfg.FastWindowSec},
+		lagSlow: window{tau: cfg.SlowWindowSec},
+	}
+}
+
+// Observe folds one monitor window's outcome in: the measured processing
+// latency, backlog, and input rate at simulated time tSec. No-op on the
+// nil tracker.
+func (t *Tracker) Observe(tSec, latencyMS, lagRecords, inputRateRPS float64) {
+	if t == nil {
+		return
+	}
+	latViolated := 0.0
+	if t.cfg.TargetLatencyMS > 0 && latencyMS > t.cfg.TargetLatencyMS {
+		latViolated = 1
+	}
+	lagViolated := 0.0
+	if inputRateRPS > 0 && lagRecords > t.cfg.LagBudgetSec*inputRateRPS {
+		lagViolated = 1
+	}
+	t.latFast.observe(tSec, latViolated)
+	t.latSlow.observe(tSec, latViolated)
+	t.lagFast.observe(tSec, lagViolated)
+	t.lagSlow.observe(tSec, lagViolated)
+	t.observations++
+	t.lastSec = tSec
+}
+
+// Health classifies the tracker's current state. Zero-valued (healthy,
+// unobserved) on the nil tracker.
+func (t *Tracker) Health() Health {
+	if t == nil {
+		return Health{State: StateHealthy}
+	}
+	h := Health{
+		State: StateHealthy,
+		Latency: Budget{
+			FastBurn: t.latFast.value / t.cfg.ViolationBudget,
+			SlowBurn: t.latSlow.value / t.cfg.ViolationBudget,
+		},
+		Lag: Budget{
+			FastBurn: t.lagFast.value / t.cfg.ViolationBudget,
+			SlowBurn: t.lagSlow.value / t.cfg.ViolationBudget,
+		},
+		Observations: t.observations,
+		LastSec:      t.lastSec,
+	}
+	h.BurnRate = math.Max(h.Latency.burn(), h.Lag.burn())
+	switch {
+	case h.BurnRate >= t.cfg.BurnPage:
+		h.State = StateBurning
+	case h.BurnRate >= t.cfg.BurnDegraded:
+		h.State = StateDegraded
+	}
+	return h
+}

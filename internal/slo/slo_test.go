@@ -1,0 +1,160 @@
+package slo
+
+import (
+	"math"
+	"testing"
+)
+
+// steadyObserve feeds n windows at interval dt, all with the same
+// latency/lag outcome.
+func steadyObserve(t *Tracker, n int, dtSec, latencyMS, lag, rate float64) {
+	for i := 1; i <= n; i++ {
+		t.Observe(float64(i)*dtSec, latencyMS, lag, rate)
+	}
+}
+
+func TestNilTrackerIsHealthyNoOp(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(60, 500, 1e9, 1000) // must not panic
+	h := tr.Health()
+	if h.State != StateHealthy || h.BurnRate != 0 || h.Observations != 0 {
+		t.Fatalf("nil tracker health = %+v, want zero healthy", h)
+	}
+}
+
+func TestHealthyUnderBudget(t *testing.T) {
+	tr := New(Config{TargetLatencyMS: 200})
+	steadyObserve(tr, 100, 60, 150, 0, 1000) // always under target, no lag
+	h := tr.Health()
+	if h.State != StateHealthy {
+		t.Fatalf("state = %s, want healthy (%+v)", h.State, h)
+	}
+	if h.BurnRate != 0 {
+		t.Fatalf("burn rate = %v, want 0", h.BurnRate)
+	}
+	if h.Observations != 100 {
+		t.Fatalf("observations = %d, want 100", h.Observations)
+	}
+}
+
+func TestSustainedViolationsBurn(t *testing.T) {
+	tr := New(Config{TargetLatencyMS: 200})
+	// Every window violates: violation fraction → 1, burn → 1/0.01 = 100
+	// on both windows once they saturate — far past the page threshold.
+	steadyObserve(tr, 200, 60, 500, 0, 1000)
+	h := tr.Health()
+	if h.State != StateBurning {
+		t.Fatalf("state = %s, want burning (%+v)", h.State, h)
+	}
+	if h.BurnRate < 14.4 {
+		t.Fatalf("burn rate = %v, want >= 14.4", h.BurnRate)
+	}
+	if h.Latency.FastBurn < h.BurnRate {
+		t.Fatalf("fast burn %v should be >= governing burn %v", h.Latency.FastBurn, h.BurnRate)
+	}
+}
+
+// A short spike trips the fast window but not the slow one: the
+// multi-window rule must keep the governing burn low, so no page fires
+// on transient noise.
+func TestShortSpikeDoesNotPage(t *testing.T) {
+	tr := New(Config{TargetLatencyMS: 200})
+	steadyObserve(tr, 120, 60, 100, 0, 1000) // 2h healthy history
+	// 3 violating windows (~3 minutes).
+	for i := 1; i <= 3; i++ {
+		tr.Observe(120*60+float64(i)*60, 500, 0, 1000)
+	}
+	h := tr.Health()
+	if h.State == StateBurning {
+		t.Fatalf("3-minute spike paged: %+v", h)
+	}
+	if h.Latency.FastBurn <= h.Latency.SlowBurn {
+		t.Fatalf("fast window should react faster than slow: fast %v, slow %v",
+			h.Latency.FastBurn, h.Latency.SlowBurn)
+	}
+}
+
+func TestLagBudgetIndependentOfLatency(t *testing.T) {
+	tr := New(Config{TargetLatencyMS: 200, LagBudgetSec: 60})
+	// Latency fine, but backlog is 10 minutes of input — lag violation.
+	steadyObserve(tr, 200, 60, 100, 600*1000, 1000)
+	h := tr.Health()
+	if h.Lag.FastBurn <= 0 {
+		t.Fatalf("lag burn = %v, want > 0 (%+v)", h.Lag.FastBurn, h)
+	}
+	if h.Latency.FastBurn != 0 {
+		t.Fatalf("latency burn = %v, want 0", h.Latency.FastBurn)
+	}
+	if h.State != StateBurning {
+		t.Fatalf("sustained lag should burn, got %s", h.State)
+	}
+	if h.BurnRate != math.Min(h.Lag.FastBurn, h.Lag.SlowBurn) {
+		t.Fatalf("governing burn %v should come from the lag budget %+v", h.BurnRate, h.Lag)
+	}
+}
+
+// Irregular step spacing (a planning session burning simulated hours)
+// must decay by elapsed time, not by sample count.
+func TestTimeDecayOverGaps(t *testing.T) {
+	tr := New(Config{TargetLatencyMS: 200})
+	// Saturate with violations...
+	steadyObserve(tr, 100, 60, 500, 0, 1000)
+	burning := tr.Health()
+	if burning.State != StateBurning {
+		t.Fatalf("setup: want burning, got %s", burning.State)
+	}
+	// ...then one healthy observation after a 10-hour gap: both windows
+	// must have decayed almost completely.
+	tr.Observe(100*60+36000, 100, 0, 1000)
+	h := tr.Health()
+	if h.State != StateHealthy {
+		t.Fatalf("after 10h gap + healthy sample: state %s (%+v)", h.State, h)
+	}
+	if h.Latency.SlowBurn > burning.Latency.SlowBurn/100 {
+		t.Fatalf("slow burn barely decayed over 10 hours: %v -> %v",
+			burning.Latency.SlowBurn, h.Latency.SlowBurn)
+	}
+}
+
+func TestDegradedBetweenThresholds(t *testing.T) {
+	// Budget 0.2: a 50% violation rate burns at 2.5 — above sustainable,
+	// below the default page threshold.
+	tr := New(Config{TargetLatencyMS: 200, ViolationBudget: 0.2})
+	for i := 1; i <= 400; i++ {
+		lat := 100.0
+		if i%2 == 0 {
+			lat = 500
+		}
+		tr.Observe(float64(i)*60, lat, 0, 1000)
+	}
+	h := tr.Health()
+	if h.State != StateDegraded {
+		t.Fatalf("state = %s, want degraded (burn %v)", h.State, h.BurnRate)
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	if !(StateHealthy.Severity() < StateDegraded.Severity() &&
+		StateDegraded.Severity() < StateBurning.Severity()) {
+		t.Fatal("severity order broken")
+	}
+}
+
+// Determinism: two trackers fed the same sequence report bit-identical
+// health — the property that lets the fleet goldens hold with SLO
+// tracking enabled.
+func TestTrackerDeterminism(t *testing.T) {
+	feed := func() Health {
+		tr := New(Config{TargetLatencyMS: 200})
+		for i := 1; i <= 500; i++ {
+			lat := 100 + 300*math.Sin(float64(i)/7)
+			lag := 1000 * math.Abs(math.Cos(float64(i)/11)) * 200
+			tr.Observe(float64(i)*60, lat, lag, 1000)
+		}
+		return tr.Health()
+	}
+	a, b := feed(), feed()
+	if a != b {
+		t.Fatalf("same feed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -120,6 +120,13 @@ type Tracer struct {
 	dropped uint64 // spans evicted by the ring
 
 	pending []Span // buffered-conduit accumulation, moved by Flush
+
+	// Flight-recorder state (flight.go): the root's journal, the
+	// conduit's accumulated records, and the correlation ID stamped
+	// onto records emitted through this tracer.
+	flight      *FlightRecorder
+	pendingRecs []Record
+	corr        uint64
 }
 
 // DefaultCapacity is the ring size New uses for capacity <= 0.
@@ -153,8 +160,8 @@ func (t *Tracer) Buffered() *Tracer {
 	return &Tracer{root: root}
 }
 
-// Flush moves the conduit's accumulated spans to the root ring as one
-// batch. No-op on nil or non-buffered tracers.
+// Flush moves the conduit's accumulated spans — and flight records —
+// to the root as one batch each. No-op on nil or non-buffered tracers.
 func (t *Tracer) Flush() {
 	if t == nil || t.root == nil {
 		return
@@ -163,6 +170,10 @@ func (t *Tracer) Flush() {
 	defer t.mu.Unlock()
 	t.root.pushBatch(t.pending)
 	t.pending = t.pending[:0]
+	if len(t.pendingRecs) > 0 {
+		t.root.Flight().append(t.pendingRecs)
+		t.pendingRecs = t.pendingRecs[:0]
+	}
 }
 
 // nextID draws a span id, always from the root's sequence so ids stay
