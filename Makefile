@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp profile chaos fleet check experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp profile chaos fleet audit check experiments summary fmt vet clean
 
 all: build test
 
@@ -28,7 +28,7 @@ bench:
 # pinned at 0 allocs so tracing can never leak into the disabled hot
 # path). Refresh the baseline after a deliberate change with:
 #   make benchcmp BENCHCMP_FLAGS=-update
-BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$|BenchmarkExposition10k$$
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$|BenchmarkExposition10k$$|BenchmarkJournalDecode$$
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
@@ -70,11 +70,26 @@ fleet:
 		$(GO) run ./examples/fleet_scaling -jobs 64 -hours 1 -profile light -seed $$seed -verify | tail -n 3 || exit 1; \
 	done
 
+# Audit gate: the journal analytics layers (decoder, attribution, diff,
+# golden journal), then the journal determinism proof — the same seeded
+# fleet run at two worker counts must produce journals `flightctl diff`
+# calls identical after corr canonicalization (docs/observability.md).
+audit:
+	$(GO) test ./internal/audit/ ./cmd/flightctl/
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	for w in 1 5; do \
+		echo "== audit journal: 6 jobs, light profile, seed 42, workers $$w =="; \
+		$(GO) run ./cmd/autrascale -jobs 6 -duration 3600 -chaos light -seed 42 \
+			-workers $$w -flight "$$dir/w$$w.jsonl" | tail -n 1 || exit 1; \
+	done && \
+	$(GO) run ./cmd/flightctl diff "$$dir/w1.jsonl" "$$dir/w5.jsonl"
+
 # The full pre-merge gate: static checks, unit tests (which include the
 # chaos, property, metamorphic, and golden layers), the race detector on
 # the concurrency-bearing packages, the benchmark baseline, the seeded
-# chaos soak matrix, and the fleet determinism soak.
-check: vet test race benchcmp chaos fleet
+# chaos soak matrix, the fleet determinism soak, and the journal audit
+# gate.
+check: vet test race benchcmp chaos fleet audit
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

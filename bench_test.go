@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"autrascale/internal/audit"
 	"autrascale/internal/bo"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/experiments"
@@ -545,6 +546,46 @@ func BenchmarkLibraryNearest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := lib.Nearest(queries[i%len(queries)]); !ok {
 			b.Fatal("empty library")
+		}
+	}
+}
+
+// BenchmarkJournalDecode measures parsing and validating a 4096-record
+// flight journal back into an audit.Journal — the cost floor under every
+// flightctl subcommand and the /debug/audit endpoint. The benchcmp gate
+// holds its ns/op so journal analytics stay interactive at ring-capacity
+// journal sizes.
+func BenchmarkJournalDecode(b *testing.B) {
+	tr := trace.New(0)
+	const n = 4096
+	tr.AttachFlight(trace.NewFlightRecorder(n))
+	for i := 0; i < n; i++ {
+		kind := trace.KindBOIteration
+		if i%16 == 0 {
+			kind = trace.KindDecision
+		}
+		tr.Emit(trace.Record{
+			Corr: uint64(1 + i/16), TimeSec: float64(i) * 60, Kind: kind,
+			Job: fmt.Sprintf("job-%03d", i%64),
+			Attrs: map[string]any{
+				"iter": i % 16, "posterior_mean": 0.9, "eligible": i%3 == 0,
+			},
+		})
+	}
+	var blob bytes.Buffer
+	if err := tr.Flight().WriteJSONL(&blob, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(blob.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := audit.ReadJournal(bytes.NewReader(blob.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(j.Records) != n || len(j.Gaps) != 0 {
+			b.Fatalf("decoded %d records, %d gaps", len(j.Records), len(j.Gaps))
 		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
 //	           [-seed N] [-mode controller|once] [-explain] [-chaos profile]
-//	           [-jobs N] [-flight out.jsonl]
+//	           [-jobs N] [-workers N] [-flight out.jsonl]
 //
 // Modes:
 //
@@ -35,7 +35,11 @@
 // With -flight PATH the run keeps a flight recorder — a bounded journal
 // of decision, BO-iteration, rescale and chaos events linked by
 // correlation id — and dumps it to PATH as JSONL on exit (see
-// docs/observability.md for the record schema).
+// docs/observability.md for the record schema, and `flightctl` to
+// analyze the journal). A journal that fails to write exits nonzero, so
+// scripts never diff a truncated file. -workers resizes the fleet
+// scheduler's pool; it changes wall-clock speed only, and `make audit`
+// proves the journal is worker-count independent.
 package main
 
 import (
@@ -65,6 +69,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print a 'why this configuration' report per decision")
 		chaosProf = flag.String("chaos", "none", "fault-injection profile: none | light | heavy")
 		jobs      = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
+		workers   = flag.Int("workers", 0, "fleet mode: scheduler worker pool size (0: default; never affects decisions)")
 		flightOut = flag.String("flight", "", "write the flight recorder journal to this file as JSONL")
 	)
 	flag.Parse()
@@ -97,8 +102,10 @@ func main() {
 	}
 
 	if *jobs > 0 {
-		runFleet(spec, *jobs, *rate, *latency, *duration, *seed, profile, tracer)
-		dumpFlight(tracer, *flightOut)
+		runFleet(spec, *jobs, *workers, *rate, *latency, *duration, *seed, profile, tracer)
+		if err := dumpFlight(tracer, *flightOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	var injector *chaos.Injector
@@ -131,28 +138,34 @@ func main() {
 		os.Exit(2)
 	}
 	printChaosCounters(store, engine.JobName())
-	dumpFlight(tracer, *flightOut)
+	if err := dumpFlight(tracer, *flightOut); err != nil {
+		fatal(err)
+	}
 }
 
-// dumpFlight writes the flight recorder's journal to path as JSONL.
-func dumpFlight(tracer *trace.Tracer, path string) {
+// dumpFlight writes the flight recorder's journal to path as JSONL. Any
+// failure — create, write, or close — is returned so the process exits
+// nonzero instead of pretending the journal landed: `make audit` and
+// every scripted consumer trusts the exit code before diffing.
+func dumpFlight(tracer *trace.Tracer, path string) error {
 	if tracer == nil || path == "" {
-		return
+		return nil
 	}
 	fl := tracer.Flight()
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("flight journal: %w", err)
 	}
 	if err := fl.WriteJSONL(f, 0); err != nil {
 		f.Close()
-		fatal(err)
+		return fmt.Errorf("flight journal %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return fmt.Errorf("flight journal %s: %w", path, err)
 	}
 	fmt.Printf("flight recorder: %d records written to %s (%d dropped by the ring)\n",
 		fl.Len(), path, fl.Dropped())
+	return nil
 }
 
 // printChaosCounters reports the fault-handling counters after a chaos
@@ -254,11 +267,12 @@ func runController(engine *flink.Engine, latency, duration float64, seed uint64,
 // runFleet drives the multi-job control plane: half the jobs submitted
 // cold at t=0, the other half joining at duration/2 to demonstrate
 // cross-job warm starts, then a per-job summary table.
-func runFleet(spec workloads.Spec, jobs int, rate, latency, duration float64,
+func runFleet(spec workloads.Spec, jobs, workers int, rate, latency, duration float64,
 	seed uint64, profile chaos.Profile, tracer *trace.Tracer) {
 	store := metrics.NewStore()
 	fl, err := fleet.New(fleet.Config{
 		TotalCores: jobs * 32, // StaggeredJobs default: 2 machines × 16 cores each
+		Workers:    workers,
 		Seed:       seed,
 		Chaos:      profile,
 		Store:      store,

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autrascale/internal/trace"
+)
+
+// dumpFlight must surface write failures as errors (the process exits
+// nonzero on them) and write a loadable journal on success.
+func TestDumpFlight(t *testing.T) {
+	tr := trace.New(0)
+	tr.AttachFlight(trace.NewFlightRecorder(16))
+	tr.Emit(trace.Record{TimeSec: 1, Kind: trace.KindDecision, Job: "j",
+		Attrs: map[string]any{"action": "noop"}})
+
+	if err := dumpFlight(nil, "x"); err != nil {
+		t.Fatalf("nil tracer should be a no-op, got %v", err)
+	}
+	if err := dumpFlight(tr, ""); err != nil {
+		t.Fatalf("empty path should be a no-op, got %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := dumpFlight(tr, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dec := trace.NewRecordDecoder(f)
+	rec, err := dec.Next()
+	if err != nil {
+		t.Fatalf("journal is not valid JSONL: %v", err)
+	}
+	if rec.Kind != trace.KindDecision || rec.Job != "j" {
+		t.Fatalf("unexpected first record: %+v", rec)
+	}
+
+	// An unwritable path must error instead of silently dropping the
+	// journal.
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.jsonl")
+	if err := dumpFlight(tr, bad); err == nil {
+		t.Fatal("unwritable path should error")
+	}
+}

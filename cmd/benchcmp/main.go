@@ -34,8 +34,9 @@ import (
 //	BenchmarkBOSuggest-8    4618    242443 ns/op    75697 B/op    431 allocs/op
 //
 // (the -N GOMAXPROCS suffix is absent on single-proc runs; the memory
-// columns are absent without -benchmem).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+// columns are absent without -benchmem; benchmarks that call SetBytes
+// add an MB/s column before them).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
 
 // entry is one benchmark's baseline record. AllocsPerOp is a pointer so
 // baselines written before -benchmem was piped in (or hand-edited to

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goldenPath = "../../internal/audit/testdata/golden_journal.jsonl"
+
+func TestSummaryRendersGolden(t *testing.T) {
+	var out strings.Builder
+	if err := runSummary([]string{goldenPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"records", "decision", "bo.iteration", "rescale"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSummaryJSON(t *testing.T) {
+	var out strings.Builder
+	if err := runSummary([]string{"-json", goldenPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"kind_counts"`) {
+		t.Fatalf("JSON summary missing kind_counts:\n%s", out.String())
+	}
+}
+
+func TestAttributeFilters(t *testing.T) {
+	var all strings.Builder
+	if err := runAttribute([]string{goldenPath}, &all); err != nil {
+		t.Fatal(err)
+	}
+	chains := strings.Count(all.String(), "decision corr=")
+	if chains < 2 {
+		t.Fatalf("golden journal should yield several chains, got %d:\n%s", chains, all.String())
+	}
+
+	var last strings.Builder
+	if err := runAttribute([]string{"-last", "1", goldenPath}, &last); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(last.String(), "decision corr="); got != 1 {
+		t.Fatalf("-last 1 should yield one chain, got %d", got)
+	}
+
+	var none strings.Builder
+	if err := runAttribute([]string{"-job", "no-such-job", goldenPath}, &none); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(none.String(), "no matching decision chains") {
+		t.Fatalf("job filter miss should say so, got:\n%s", none.String())
+	}
+}
+
+func TestDiffIdenticalAndDivergent(t *testing.T) {
+	var out strings.Builder
+	identical, err := runDiff([]string{goldenPath, goldenPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical || !strings.Contains(out.String(), "journals identical") {
+		t.Fatalf("self-diff should be identical, got:\n%s", out.String())
+	}
+
+	// Truncate the journal by one line: diff must report the divergence
+	// at the cut and exit non-identical.
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	truncated := filepath.Join(t.TempDir(), "truncated.jsonl")
+	if err := os.WriteFile(truncated, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	identical, err = runDiff([]string{goldenPath, truncated}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identical {
+		t.Fatal("diff against a truncated journal reported identical")
+	}
+	if !strings.Contains(out.String(), "journals diverge at record") {
+		t.Fatalf("divergence report missing, got:\n%s", out.String())
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := runDiff([]string{goldenPath}, &out); err == nil {
+		t.Fatal("diff with one file should error")
+	}
+	if _, err := runDiff([]string{goldenPath, "does-not-exist.jsonl"}, &out); err == nil {
+		t.Fatal("diff against a missing file should error")
+	}
+}
+
+func TestSLOReport(t *testing.T) {
+	var out strings.Builder
+	if err := runSLOReport([]string{goldenPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "slo audit:") || !strings.Contains(got, "wordcount") {
+		t.Fatalf("slo report missing expected rows:\n%s", got)
+	}
+}
+
+func TestLoadJournalRejectsGarbage(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadJournal([]string{bad}); err == nil {
+		t.Fatal("malformed journal should fail to load")
+	}
+	if _, err := loadJournal([]string{"a", "b"}); err == nil {
+		t.Fatal("two positional files should be rejected")
+	}
+}

@@ -12,6 +12,8 @@
 //	/debug/health     SLO burn-rate health: the fleet aggregate (fleet
 //	                  mode) or the single job's tracker report
 //	/debug/flight     the flight recorder's journal as JSONL (?n=K)
+//	/debug/audit      decision attribution over the live ring: each
+//	                  decision's causal chain, summarized (?job=NAME)
 //	/debug/trace      recent spans from the decision-path tracer
 //	/debug/pprof/     standard Go profiling endpoints
 //	/healthz          liveness
@@ -28,7 +30,7 @@
 //
 //	metricsd [-addr :9090] [-workload wordcount] [-latency ms]
 //	         [-tick-interval 10ms] [-seed N] [-trace-capacity 2048]
-//	         [-jobs N]
+//	         [-flight-cap 4096] [-jobs N]
 package main
 
 import (
@@ -42,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"autrascale/internal/audit"
 	"autrascale/internal/core"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/fleet"
@@ -72,7 +75,10 @@ type serverConfig struct {
 	LatencyMS     float64
 	Seed          uint64
 	TraceCapacity int
-	NoNoise       bool
+	// FlightCap sizes the flight recorder's record ring (default: the
+	// recorder's own default).
+	FlightCap int
+	NoNoise   bool
 	// Schedule overrides the workload's constant default rate (tests use
 	// a step schedule to exercise the transfer path).
 	Schedule kafka.RateSchedule
@@ -103,7 +109,7 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 
 	store := metrics.NewStore()
 	tracer := trace.New(cfg.TraceCapacity)
-	flight := trace.NewFlightRecorder(0)
+	flight := trace.NewFlightRecorder(cfg.FlightCap)
 	tracer.AttachFlight(flight)
 
 	if cfg.Jobs > 0 {
@@ -157,6 +163,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/debug/fleet", s.handleFleet)
 	mux.HandleFunc("/debug/health", s.handleHealth)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/audit", s.handleAudit)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -171,13 +178,14 @@ func (s *server) routes() *http.ServeMux {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":9090", "listen address")
-		workload = flag.String("workload", "wordcount", "workload: wordcount, yahoo, nexmark-q5, nexmark-q11")
-		latency  = flag.Float64("latency", 0, "target latency ms (default: the workload's)")
-		tick     = flag.Duration("tick-interval", 10*time.Millisecond, "wall time per simulated second")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		traceCap = flag.Int("trace-capacity", trace.DefaultCapacity, "span ring-buffer capacity")
-		jobs     = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
+		addr      = flag.String("addr", ":9090", "listen address")
+		workload  = flag.String("workload", "wordcount", "workload: wordcount, yahoo, nexmark-q5, nexmark-q11")
+		latency   = flag.Float64("latency", 0, "target latency ms (default: the workload's)")
+		tick      = flag.Duration("tick-interval", 10*time.Millisecond, "wall time per simulated second")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		traceCap  = flag.Int("trace-capacity", trace.DefaultCapacity, "span ring-buffer capacity")
+		flightCap = flag.Int("flight-cap", 0, "flight recorder ring capacity (0: default)")
+		jobs      = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
 	)
 	flag.Parse()
 
@@ -186,6 +194,7 @@ func main() {
 		LatencyMS:     *latency,
 		Seed:          *seed,
 		TraceCapacity: *traceCap,
+		FlightCap:     *flightCap,
 		Jobs:          *jobs,
 	})
 	if err != nil {
@@ -423,6 +432,33 @@ func (s *server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	if err := s.flight.WriteJSONL(w, limit); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handleAudit runs the offline attribution layer against the live
+// flight ring: the journal summary plus every decision's causal chain
+// (BO iterations, rescale attempts, chaos events, SLO follow-up).
+// ?job=NAME keeps only that job's decisions. This is `flightctl
+// attribute` without the download round-trip.
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	j, err := audit.FromRecords(s.flight.Snapshot(0))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	atts := j.Attributions()
+	if job := r.URL.Query().Get("job"); job != "" {
+		kept := atts[:0]
+		for _, a := range atts {
+			if a.Job == job {
+				kept = append(kept, a)
+			}
+		}
+		atts = kept
+	}
+	writeJSON(w, struct {
+		Summary      audit.Summary       `json:"summary"`
+		Attributions []audit.Attribution `json:"attributions"`
+	}{Summary: j.Summarize(), Attributions: atts})
 }
 
 // handleTrace serves the most recent spans from the ring buffer

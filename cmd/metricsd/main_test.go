@@ -482,7 +482,7 @@ func TestDebugFlightEndpoint(t *testing.T) {
 	if len(lines) < 2 {
 		t.Fatalf("flight journal has %d lines, want several", len(lines))
 	}
-	kinds := map[string]int{}
+	kinds := map[trace.RecordKind]int{}
 	var lastSeq uint64
 	for _, line := range lines {
 		var rec trace.Record
@@ -495,7 +495,7 @@ func TestDebugFlightEndpoint(t *testing.T) {
 		lastSeq = rec.Seq
 		kinds[rec.Kind]++
 	}
-	for _, want := range []string{"decision", "bo.iteration"} {
+	for _, want := range []trace.RecordKind{trace.KindDecision, trace.KindBOIteration} {
 		if kinds[want] == 0 {
 			t.Errorf("flight journal has no %q records (kinds: %v)", want, kinds)
 		}
@@ -512,6 +512,86 @@ func TestDebugFlightEndpoint(t *testing.T) {
 	}
 	if last.Seq != lastSeq {
 		t.Errorf("?n=2 newest seq = %d, want %d", last.Seq, lastSeq)
+	}
+}
+
+// /debug/audit reconstructs decision attribution from the live ring:
+// a journal summary plus one chain per decision, filterable by job.
+func TestDebugAuditEndpoint(t *testing.T) {
+	srv := stepServer(t)
+	stepUntilTransfer(t, srv)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var rep struct {
+		Summary struct {
+			Records   int `json:"records"`
+			Decisions int `json:"decisions"`
+		} `json:"summary"`
+		Attributions []struct {
+			Job          string `json:"job"`
+			Action       string `json:"action"`
+			BOIterations int    `json:"bo_iterations"`
+		} `json:"attributions"`
+	}
+	if err := json.Unmarshal(get(t, ts, "/debug/audit"), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Records == 0 || rep.Summary.Decisions == 0 {
+		t.Fatalf("audit summary empty: %+v", rep.Summary)
+	}
+	if len(rep.Attributions) != rep.Summary.Decisions {
+		t.Fatalf("got %d attributions, summary says %d decisions",
+			len(rep.Attributions), rep.Summary.Decisions)
+	}
+	sawBO := false
+	for _, a := range rep.Attributions {
+		if a.Job != "wordcount" {
+			t.Fatalf("unexpected job in attribution: %+v", a)
+		}
+		if a.BOIterations > 0 {
+			sawBO = true
+		}
+	}
+	if !sawBO {
+		t.Error("no attribution carries BO iterations")
+	}
+
+	// ?job= filters; a name not in the journal yields an empty chain list
+	// but keeps the summary.
+	if err := json.Unmarshal(get(t, ts, "/debug/audit?job=nope"), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attributions) != 0 {
+		t.Fatalf("?job=nope returned %d attributions", len(rep.Attributions))
+	}
+	if rep.Summary.Records == 0 {
+		t.Error("?job=nope dropped the summary")
+	}
+}
+
+// -flight-cap bounds the live ring: a tiny cap must drop old records
+// rather than grow.
+func TestFlightCapBoundsRing(t *testing.T) {
+	srv, _, err := newServer(serverConfig{
+		Workload:  "wordcount",
+		Seed:      7,
+		NoNoise:   true,
+		FlightCap: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := srv.ctl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := srv.flight.Len(); n > 8 {
+		t.Fatalf("ring holds %d records, cap is 8", n)
+	}
+	if srv.flight.Dropped() == 0 {
+		t.Error("expected the tiny ring to drop records")
 	}
 }
 

@@ -1,0 +1,253 @@
+package audit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autrascale/internal/audit"
+	"autrascale/internal/trace"
+)
+
+// rec is a shorthand constructor for handcrafted journal records.
+func rec(seq, corr uint64, t float64, kind trace.RecordKind, job string, attrs map[string]any) trace.Record {
+	return trace.Record{Seq: seq, Corr: corr, TimeSec: t, Kind: kind, Job: job, Attrs: attrs}
+}
+
+// journalBytes serializes records the same way the flight recorder does.
+func journalBytes(t *testing.T, recs []trace.Record) []byte {
+	t.Helper()
+	fl := trace.NewFlightRecorder(len(recs) + 1)
+	tr := trace.New(8)
+	tr.AttachFlight(fl)
+	for _, r := range recs {
+		r.Seq = 0 // the recorder assigns seqs at commit
+		tr.Emit(r)
+	}
+	var buf bytes.Buffer
+	if err := fl.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadJournalValidation(t *testing.T) {
+	// Gaps are tolerated and accounted (the ring evicts oldest records).
+	input := `{"seq":5,"t_sec":60,"kind":"decision","job":"a"}
+{"seq":6,"t_sec":120,"kind":"rescale","job":"a"}
+{"seq":9,"t_sec":180,"kind":"mystery.kind","job":"a"}
+`
+	j, err := audit.ReadJournal(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.FirstSeq != 5 || j.LastSeq != 9 || len(j.Records) != 3 {
+		t.Fatalf("journal = seq %d..%d, %d records", j.FirstSeq, j.LastSeq, len(j.Records))
+	}
+	if len(j.Gaps) != 1 || j.Gaps[0].AfterSeq != 6 || j.Gaps[0].Missing != 2 {
+		t.Fatalf("gaps = %+v, want one gap of 2 after seq 6", j.Gaps)
+	}
+	if j.MissingRecords() != 2 {
+		t.Fatalf("missing = %d, want 2", j.MissingRecords())
+	}
+	if j.UnknownKinds["mystery.kind"] != 1 {
+		t.Fatalf("unknown kinds = %v, want mystery.kind counted", j.UnknownKinds)
+	}
+	s := j.Summarize()
+	if s.Gaps != 1 || s.MissingRecords != 2 || s.Records != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+
+	// A seq regression means the input is not one journal.
+	bad := `{"seq":5,"t_sec":60,"kind":"decision"}
+{"seq":5,"t_sec":61,"kind":"decision"}
+`
+	if _, err := audit.ReadJournal(strings.NewReader(bad)); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+	bad = `{"seq":5,"t_sec":60,"kind":"decision"}
+{"seq":3,"t_sec":61,"kind":"decision"}
+`
+	if _, err := audit.ReadJournal(strings.NewReader(bad)); err == nil {
+		t.Fatal("seq regression accepted")
+	}
+}
+
+// FromRecords (the live-ring path) and ReadJournal (the file path) must
+// agree on everything but attr value types.
+func TestFromRecordsMatchesReadJournal(t *testing.T) {
+	recs := []trace.Record{
+		rec(0, 7, 60, trace.KindDecision, "a", map[string]any{"action": "algorithm1"}),
+		rec(0, 7, 61, trace.KindRescale, "a", map[string]any{"attempt": 1}),
+	}
+	blob := journalBytes(t, recs)
+	fromFile, err := audit.ReadJournal(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := trace.NewFlightRecorder(8)
+	tr := trace.New(8)
+	tr.AttachFlight(fl)
+	for _, r := range recs {
+		tr.Emit(r)
+	}
+	fromRing, err := audit.FromRecords(fl.Snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.LastSeq != fromRing.LastSeq || len(fromFile.Records) != len(fromRing.Records) {
+		t.Fatalf("file journal %d..%d/%d records, ring journal %d..%d/%d records",
+			fromFile.FirstSeq, fromFile.LastSeq, len(fromFile.Records),
+			fromRing.FirstSeq, fromRing.LastSeq, len(fromRing.Records))
+	}
+	if d := audit.Diff(fromFile, fromRing); !d.Identical {
+		t.Fatalf("file and ring journals diverge: %s", d.Render())
+	}
+	// A record that never went through commit has no seq: reject.
+	if _, err := audit.FromRecords([]trace.Record{{Kind: trace.KindDecision}}); err == nil {
+		t.Fatal("uncommitted record accepted")
+	}
+}
+
+// The canonical chain: decision + BO iterations + rescale attempts +
+// chaos events on one corr, with the job's SLO crossing afterwards.
+func TestChainsAndAttributions(t *testing.T) {
+	recs := []trace.Record{
+		rec(1, 17, 600, trace.KindBOIteration, "wc", map[string]any{"iter": 1, "par": "(2, 2, 4, 4)", "score": 0.91, "terminated": false}),
+		rec(2, 17, 700, trace.KindRescaleAttempt, "wc", map[string]any{"to": "(3, 2, 4, 4)", "attempt": 1, "ok": false, "gave_up": false}),
+		rec(3, 17, 760, trace.KindRescale, "wc", map[string]any{"from": "(2, 2, 4, 4)", "to": "(3, 2, 4, 4)", "attempt": 2, "downtime_sec": 10.0}),
+		rec(4, 17, 1200, trace.KindChaosMachine, "wc", map[string]any{"machine": "m1", "down": true}),
+		rec(5, 17, 1300, trace.KindDecision, "wc", map[string]any{"action": "algorithm1", "reason": "rate changed", "rate_rps": 1500.0, "chosen": "(3, 2, 4, 4)"}),
+		// A second job's orphan chain (chaos between steps, minted corr).
+		rec(6, 44, 1400, trace.KindChaosMachine, "yx", map[string]any{"machine": "n1", "down": true}),
+		// The first job's SLO crossing two rounds later.
+		rec(7, 91, 1420, trace.KindSLOState, "wc", map[string]any{"from": "healthy", "to": "burning", "burn_rate": 15.2}),
+	}
+	j, err := audit.FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chains := j.Chains()
+	if len(chains) != 3 {
+		t.Fatalf("chains = %d, want 3 (decision chain, orphan chaos, slo chain)", len(chains))
+	}
+	if chains[0].Corr != 17 || chains[0].Decision == nil || len(chains[0].Records) != 5 {
+		t.Fatalf("decision chain = %+v", chains[0])
+	}
+	if chains[1].Corr != 44 || chains[1].Decision != nil {
+		t.Fatalf("orphan chain = %+v", chains[1])
+	}
+
+	atts := j.Attributions()
+	if len(atts) != 1 {
+		t.Fatalf("attributions = %d, want 1 (orphans are not decisions)", len(atts))
+	}
+	a := atts[0]
+	if a.Corr != 17 || a.Job != "wc" || a.Action != "algorithm1" || a.Chosen != "(3, 2, 4, 4)" {
+		t.Fatalf("attribution header = %+v", a)
+	}
+	if a.BOIterations != 1 || a.Rescales != 1 || a.FailedAttempts != 1 || a.GaveUp {
+		t.Fatalf("attribution counts = %+v", a)
+	}
+	if len(a.ChaosEvents) != 1 || a.ChaosEvents[0].Machine != "m1" || !a.ChaosEvents[0].Down {
+		t.Fatalf("chaos events = %+v", a.ChaosEvents)
+	}
+	if a.NextSLO == nil || a.NextSLO.To != "burning" || a.NextSLO.Burn != 15.2 ||
+		a.NextSLO.AfterSec != 120 {
+		t.Fatalf("slo follow-up = %+v", a.NextSLO)
+	}
+	if !strings.Contains(a.Outcome, "machine kill") || !strings.Contains(a.Outcome, "1 rescale") {
+		t.Fatalf("outcome = %q", a.Outcome)
+	}
+	rendered := a.Render()
+	for _, want := range []string{"corr=17", "algorithm1", "machine m1 down", "burning", "+120s"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered attribution missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := []trace.Record{
+		rec(1, 1001, 60, trace.KindDecision, "a", map[string]any{"action": "none"}),
+		rec(2, 1001, 61, trace.KindRescale, "a", map[string]any{"attempt": 1.0}),
+		rec(3, 2002, 120, trace.KindDecision, "b", map[string]any{"action": "algorithm1"}),
+	}
+	// Same run journaled with different (interleaved) corr allocations.
+	other := []trace.Record{
+		rec(1, 7077, 60, trace.KindDecision, "a", map[string]any{"action": "none"}),
+		rec(2, 7077, 61, trace.KindRescale, "a", map[string]any{"attempt": 1.0}),
+		rec(3, 3033, 120, trace.KindDecision, "b", map[string]any{"action": "algorithm1"}),
+	}
+	ja, _ := audit.FromRecords(base)
+	jb, _ := audit.FromRecords(other)
+	if d := audit.Diff(ja, jb); !d.Identical {
+		t.Fatalf("corr-renumbered journals must compare identical:\n%s", d.Render())
+	}
+
+	// A genuinely different record diverges, with chain context.
+	mutated := append([]trace.Record(nil), other...)
+	mutated[1] = rec(2, 7077, 61, trace.KindRescale, "a", map[string]any{"attempt": 2.0})
+	jm, _ := audit.FromRecords(mutated)
+	d := audit.Diff(ja, jm)
+	if d.Identical || d.Divergence == nil || d.Divergence.Index != 1 {
+		t.Fatalf("diff = %+v, want divergence at index 1", d)
+	}
+	if len(d.Divergence.ContextA) != 2 || len(d.Divergence.ContextB) != 2 {
+		t.Fatalf("divergence context sizes = %d/%d, want the 2-record chain on both sides",
+			len(d.Divergence.ContextA), len(d.Divergence.ContextB))
+	}
+	if !strings.Contains(d.Render(), "diverge at record 1") {
+		t.Fatalf("render = %q", d.Render())
+	}
+
+	// A truncated journal diverges at the missing tail.
+	jt, _ := audit.FromRecords(base[:2])
+	d = audit.Diff(ja, jt)
+	if d.Identical || d.Divergence == nil || d.Divergence.Index != 2 || d.Divergence.B != nil {
+		t.Fatalf("truncation diff = %+v", d)
+	}
+}
+
+func TestSLOAudit(t *testing.T) {
+	recs := []trace.Record{
+		rec(1, 1, 0, trace.KindDecision, "calm", map[string]any{"action": "none"}),
+		rec(2, 2, 0, trace.KindDecision, "hot", map[string]any{"action": "none"}),
+		rec(3, 0, 600, trace.KindSLOState, "hot", map[string]any{"from": "healthy", "to": "degraded", "burn_rate": 2.5}),
+		rec(4, 0, 1200, trace.KindSLOState, "hot", map[string]any{"from": "degraded", "to": "burning", "burn_rate": 20.0}),
+		rec(5, 0, 1800, trace.KindSLOState, "hot", map[string]any{"from": "burning", "to": "degraded", "burn_rate": 5.0}),
+		rec(6, 0, 2400, trace.KindSLOState, "warm", map[string]any{"from": "healthy", "to": "degraded", "burn_rate": 1.5}),
+		rec(7, 0, 3600, trace.KindDecision, "calm", map[string]any{"action": "none"}),
+	}
+	// The slo.state records carry corr 0 deliberately: SLOAudit must not
+	// depend on chain membership, only on the journal's record order.
+	j, err := audit.FromRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := audit.SLOAudit(j)
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("report covers %d jobs, want 3", len(rep.Jobs))
+	}
+	// Ranked worst first: hot (burning), then warm (degraded), then calm.
+	if rep.Jobs[0].Job != "hot" || rep.Jobs[1].Job != "warm" || rep.Jobs[2].Job != "calm" {
+		t.Fatalf("ranking = %s, %s, %s", rep.Jobs[0].Job, rep.Jobs[1].Job, rep.Jobs[2].Job)
+	}
+	hot := rep.Jobs[0]
+	if hot.Transitions != 3 || hot.WorstState != "burning" || hot.FinalState != "degraded" || hot.MaxBurn != 20.0 {
+		t.Fatalf("hot = %+v", hot)
+	}
+	// hot: healthy 0..600, degraded 600..1200, burning 1200..1800,
+	// degraded 1800..3600 (journal end).
+	if hot.HealthySec != 600 || hot.BurningSec != 600 || hot.DegradedSec != 2400 {
+		t.Fatalf("hot time-in-state = %+v", hot)
+	}
+	calm := rep.Jobs[2]
+	if calm.Transitions != 0 || calm.WorstState != "healthy" || calm.HealthySec != 3600 {
+		t.Fatalf("calm = %+v", calm)
+	}
+	if !strings.Contains(rep.Render(), "hot") {
+		t.Fatalf("render = %q", rep.Render())
+	}
+}

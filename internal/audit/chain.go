@@ -1,0 +1,247 @@
+package audit
+
+// Correlation-chain reconstruction: group a journal's records by their
+// correlation id and explain each decision's chain — which BO
+// iterations it ran, which rescales it committed or failed, which chaos
+// events interfered, and how the job's SLO state moved afterwards.
+
+import (
+	"fmt"
+
+	"autrascale/internal/trace"
+)
+
+// Chain is every record sharing one correlation id, in journal order.
+// The decision record (if any) is emitted at the *end* of its step —
+// after the planning session's iterations and rescales — so it usually
+// sits last in Records.
+type Chain struct {
+	Corr uint64
+	// Job is the chain's job (chains never span jobs: a conduit's corr
+	// is set per step of one controller).
+	Job     string
+	Records []trace.Record
+	// Decision points at the chain's decision record; nil for orphan
+	// chains (a chaos event outside any step, or a step whose decision
+	// record the ring evicted).
+	Decision *trace.Record
+}
+
+// Chains groups the journal by correlation id, ordered by each chain's
+// first appearance. Records with corr 0 predate the corr-minting fix
+// and are unattributable; they are excluded.
+func (j *Journal) Chains() []Chain {
+	idx := map[uint64]int{}
+	var chains []Chain
+	for _, rec := range j.Records {
+		if rec.Corr == 0 {
+			continue
+		}
+		i, ok := idx[rec.Corr]
+		if !ok {
+			i = len(chains)
+			idx[rec.Corr] = i
+			chains = append(chains, Chain{Corr: rec.Corr, Job: rec.Job})
+		}
+		chains[i].Records = append(chains[i].Records, rec)
+		if rec.Kind == trace.KindDecision && chains[i].Decision == nil {
+			r := rec
+			chains[i].Decision = &r
+		}
+	}
+	return chains
+}
+
+// SLOTransition is one burn-state crossing.
+type SLOTransition struct {
+	TimeSec float64 `json:"t_sec"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Burn    float64 `json:"burn_rate"`
+}
+
+// SLOFollowUp is the job's first burn-state crossing *after* a
+// decision — "burn crossed 14.4 two rounds later" made queryable.
+type SLOFollowUp struct {
+	SLOTransition
+	AfterSec float64 `json:"after_sec"`
+}
+
+// ChaosEvent is one machine kill/recovery inside a chain.
+type ChaosEvent struct {
+	TimeSec float64 `json:"t_sec"`
+	Machine string  `json:"machine"`
+	Down    bool    `json:"down"`
+}
+
+// Attribution explains one decision chain end to end.
+type Attribution struct {
+	Corr    uint64  `json:"corr"`
+	Job     string  `json:"job"`
+	TimeSec float64 `json:"t_sec"`
+	Action  string  `json:"action"`
+	Reason  string  `json:"reason"`
+	Chosen  string  `json:"chosen,omitempty"`
+	RateRPS float64 `json:"rate_rps,omitempty"`
+
+	BOIterations   int  `json:"bo_iterations"`
+	Rescales       int  `json:"rescales"`
+	FailedAttempts int  `json:"failed_attempts"`
+	GaveUp         bool `json:"gave_up,omitempty"`
+
+	ChaosEvents     []ChaosEvent `json:"chaos_events,omitempty"`
+	Quarantined     bool         `json:"quarantined,omitempty"`
+	QuarantineError string       `json:"quarantine_error,omitempty"`
+
+	// SLOTransitions are crossings journaled inside the chain itself;
+	// NextSLO is the job's first crossing after the decision committed.
+	SLOTransitions []SLOTransition `json:"slo_transitions,omitempty"`
+	NextSLO        *SLOFollowUp    `json:"next_slo,omitempty"`
+
+	// Outcome is the one-line verdict ("committed 12 rescale(s), 3 failed
+	// attempt(s) during a machine kill").
+	Outcome string `json:"outcome"`
+}
+
+// attribute builds the Attribution for one decision chain.
+func attribute(c Chain) Attribution {
+	d := c.Decision
+	a := Attribution{
+		Corr:    c.Corr,
+		Job:     c.Job,
+		TimeSec: d.TimeSec,
+		Action:  attrString(d.Attrs, "action"),
+		Reason:  attrString(d.Attrs, "reason"),
+		Chosen:  attrString(d.Attrs, "chosen"),
+	}
+	a.RateRPS, _ = attrFloat(d.Attrs, "rate_rps")
+	for _, rec := range c.Records {
+		switch rec.Kind {
+		case trace.KindBOIteration:
+			a.BOIterations++
+		case trace.KindRescale:
+			a.Rescales++
+		case trace.KindRescaleAttempt:
+			a.FailedAttempts++
+			if attrBool(rec.Attrs, "gave_up") {
+				a.GaveUp = true
+			}
+		case trace.KindChaosMachine:
+			a.ChaosEvents = append(a.ChaosEvents, ChaosEvent{
+				TimeSec: rec.TimeSec,
+				Machine: attrString(rec.Attrs, "machine"),
+				Down:    attrBool(rec.Attrs, "down"),
+			})
+		case trace.KindQuarantine:
+			a.Quarantined = true
+			a.QuarantineError = attrString(rec.Attrs, "error")
+		case trace.KindSLOState:
+			burn, _ := attrFloat(rec.Attrs, "burn_rate")
+			a.SLOTransitions = append(a.SLOTransitions, SLOTransition{
+				TimeSec: rec.TimeSec,
+				From:    attrString(rec.Attrs, "from"),
+				To:      attrString(rec.Attrs, "to"),
+				Burn:    burn,
+			})
+		}
+	}
+	a.Outcome = outcome(a)
+	return a
+}
+
+// outcome condenses the chain into one verdict line.
+func outcome(a Attribution) string {
+	var during string
+	for _, ev := range a.ChaosEvents {
+		if ev.Down {
+			during = fmt.Sprintf(" during a machine kill (%s)", ev.Machine)
+			break
+		}
+	}
+	switch {
+	case a.Quarantined:
+		return fmt.Sprintf("job quarantined%s: %s", during, a.QuarantineError)
+	case a.Action == "degraded":
+		return fmt.Sprintf("degraded after %d failed rescale attempt(s)%s; kept last-known-good",
+			a.FailedAttempts, during)
+	case a.Rescales > 0 && a.FailedAttempts > 0:
+		return fmt.Sprintf("committed %d rescale(s), %d failed attempt(s) along the way%s",
+			a.Rescales, a.FailedAttempts, during)
+	case a.Rescales > 0:
+		return fmt.Sprintf("committed %d rescale(s)%s", a.Rescales, during)
+	default:
+		return "no reconfiguration" + during
+	}
+}
+
+// Attributions explains every decision chain in the journal, in journal
+// order, with each decision's SLO follow-up resolved against the
+// journal's later slo.state records for the same job.
+func (j *Journal) Attributions() []Attribution {
+	// Index slo.state records by job for the follow-up scan.
+	sloByJob := map[string][]trace.Record{}
+	for _, rec := range j.Records {
+		if rec.Kind == trace.KindSLOState {
+			sloByJob[rec.Job] = append(sloByJob[rec.Job], rec)
+		}
+	}
+	var out []Attribution
+	for _, c := range j.Chains() {
+		if c.Decision == nil {
+			continue
+		}
+		a := attribute(c)
+		for _, rec := range sloByJob[a.Job] {
+			if rec.Seq > c.Decision.Seq {
+				burn, _ := attrFloat(rec.Attrs, "burn_rate")
+				a.NextSLO = &SLOFollowUp{
+					SLOTransition: SLOTransition{
+						TimeSec: rec.TimeSec,
+						From:    attrString(rec.Attrs, "from"),
+						To:      attrString(rec.Attrs, "to"),
+						Burn:    burn,
+					},
+					AfterSec: rec.TimeSec - a.TimeSec,
+				}
+				break
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Render formats the attribution as a human-readable block.
+func (a Attribution) Render() string {
+	out := fmt.Sprintf("decision corr=%d @t=%.0fs job=%s — %s\n", a.Corr, a.TimeSec, a.Job, a.Action)
+	if a.Reason != "" {
+		out += fmt.Sprintf("  reason: %s\n", a.Reason)
+	}
+	if a.Chosen != "" {
+		out += fmt.Sprintf("  chosen: %s at %.0f rps after %d BO iteration(s)\n",
+			a.Chosen, a.RateRPS, a.BOIterations)
+	}
+	if a.Rescales > 0 || a.FailedAttempts > 0 {
+		out += fmt.Sprintf("  rescales: %d committed, %d failed attempt(s)", a.Rescales, a.FailedAttempts)
+		if a.GaveUp {
+			out += " (gave up)"
+		}
+		out += "\n"
+	}
+	for _, ev := range a.ChaosEvents {
+		verb := "recovered"
+		if ev.Down {
+			verb = "down"
+		}
+		out += fmt.Sprintf("  chaos: machine %s %s @t=%.0fs\n", ev.Machine, verb, ev.TimeSec)
+	}
+	for _, tr := range a.SLOTransitions {
+		out += fmt.Sprintf("  slo: %s→%s (burn %.1f) @t=%.0fs\n", tr.From, tr.To, tr.Burn, tr.TimeSec)
+	}
+	if a.NextSLO != nil {
+		out += fmt.Sprintf("  slo after: %s→%s (burn %.1f) @t=%.0fs (+%.0fs after the decision)\n",
+			a.NextSLO.From, a.NextSLO.To, a.NextSLO.Burn, a.NextSLO.TimeSec, a.NextSLO.AfterSec)
+	}
+	out += fmt.Sprintf("  outcome: %s\n", a.Outcome)
+	return out
+}

@@ -1,0 +1,78 @@
+package audit_test
+
+import (
+	"bytes"
+	"testing"
+
+	"autrascale/internal/audit"
+	"autrascale/internal/chaos"
+	"autrascale/internal/fleet"
+	"autrascale/internal/trace"
+	"autrascale/internal/workloads"
+)
+
+// fleetJournal runs a staggered fleet with the given worker count and
+// returns its flight journal. Everything except the worker count is
+// pinned, so two calls differ only in scheduling interleave.
+func fleetJournal(t *testing.T, workers int) *audit.Journal {
+	t.Helper()
+	const jobs = 4
+	tr := trace.New(0)
+	tr.AttachFlight(trace.NewFlightRecorder(1 << 15))
+	fl, err := fleet.New(fleet.Config{
+		TotalCores: jobs * 32,
+		Workers:    workers,
+		Seed:       7,
+		Chaos:      chaos.Light(),
+		Tracer:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := fleet.StaggeredJobs(workloads.WordCount(), jobs, 1500)
+	for _, js := range specs[:jobs/2] {
+		if err := fl.Submit(js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.RunUntil(1800)
+	for _, js := range specs[jobs/2:] {
+		if err := fl.Submit(js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.RunUntil(3600)
+
+	var buf bytes.Buffer
+	if err := tr.Flight().WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	j, err := audit.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Records) == 0 {
+		t.Fatal("fleet run journaled no records")
+	}
+	if len(j.Gaps) != 0 {
+		t.Fatalf("fleet journal has gaps: %v", j.Gaps)
+	}
+	return j
+}
+
+// The determinism contract behind `flightctl diff` and the `make audit`
+// gate: two same-seed fleet runs at different worker counts must journal
+// identically once correlation ids are canonicalized — the round
+// barrier's submission-order flush makes record order worker-count
+// independent, and corr ids are the only interleave-dependent values.
+func TestFleetJournalWorkerCountIndependent(t *testing.T) {
+	a := fleetJournal(t, 1)
+	b := fleetJournal(t, 4)
+	res := audit.Diff(a, b)
+	if !res.Identical {
+		t.Fatalf("same-seed journals diverge across worker counts:\n%s", res.Render())
+	}
+	if res.ARecords != res.BRecords || res.ARecords == 0 {
+		t.Fatalf("unexpected record counts: a=%d b=%d", res.ARecords, res.BRecords)
+	}
+}

@@ -1,0 +1,173 @@
+package audit
+
+// Deterministic run-diff. Two same-seed runs of the simulator are
+// bit-identical except for one artifact: correlation ids are span ids
+// minted from a process-global atomic sequence, so concurrent fleet
+// workers interleave allocations differently at different worker
+// counts. Everything the journal *orders* — seq, timestamps, kinds,
+// jobs, attrs, record order — is worker-count-independent by the round
+// barrier's submission-order flush. Diff therefore canonicalizes corr
+// to dense first-appearance ids (deterministic given deterministic
+// record order) and compares the rest byte-for-byte; the first
+// divergence is reported with each side's correlated context.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"autrascale/internal/trace"
+)
+
+// CanonicalizeCorr returns a copy of recs with every nonzero corr
+// remapped to a dense id (1, 2, 3, …) in order of first appearance.
+func CanonicalizeCorr(recs []trace.Record) []trace.Record {
+	remap := map[uint64]uint64{}
+	out := make([]trace.Record, len(recs))
+	for i, rec := range recs {
+		if rec.Corr != 0 {
+			id, ok := remap[rec.Corr]
+			if !ok {
+				id = uint64(len(remap) + 1)
+				remap[rec.Corr] = id
+			}
+			rec.Corr = id
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// Divergence describes the first position where two journals disagree.
+// A nil A or B means that side's journal ended first.
+type Divergence struct {
+	// Index is the 0-based record position (after canonicalization).
+	Index int           `json:"index"`
+	A     *trace.Record `json:"a,omitempty"`
+	B     *trace.Record `json:"b,omitempty"`
+	// ContextA/ContextB are the records correlated with each side's
+	// divergent record (its chain), for cause analysis.
+	ContextA []trace.Record `json:"context_a,omitempty"`
+	ContextB []trace.Record `json:"context_b,omitempty"`
+}
+
+// DiffResult is the outcome of comparing two journals.
+type DiffResult struct {
+	Identical  bool        `json:"identical"`
+	ARecords   int         `json:"a_records"`
+	BRecords   int         `json:"b_records"`
+	Divergence *Divergence `json:"divergence,omitempty"`
+}
+
+// canonicalJSON is the comparison key: encoding/json marshals map keys
+// sorted, so two records are equal iff their encodings are.
+func canonicalJSON(rec trace.Record) string {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		// A Record is plain data plus an attrs map produced by either
+		// json.Unmarshal or the emitters; neither can hold unmarshalable
+		// values in practice.
+		return fmt.Sprintf("unmarshalable: %v", err)
+	}
+	return string(blob)
+}
+
+// chainContext collects the records sharing rec's (original) corr, up
+// to max entries — or, for corr-0 records, the immediate neighbors.
+func chainContext(recs []trace.Record, i, max int) []trace.Record {
+	corr := recs[i].Corr
+	if corr == 0 {
+		lo, hi := i-2, i+3
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		return append([]trace.Record(nil), recs[lo:hi]...)
+	}
+	var out []trace.Record
+	for _, rec := range recs {
+		if rec.Corr == corr {
+			out = append(out, rec)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// maxDiffContext bounds how many chain records a divergence report
+// carries per side.
+const maxDiffContext = 16
+
+// Diff compares two journals after corr canonicalization and returns
+// the first divergence (nil when identical). Seq numbers are compared
+// as-is: two dumps of the same run share them, and a gap on one side is
+// a real divergence.
+func Diff(a, b *Journal) DiffResult {
+	ca := CanonicalizeCorr(a.Records)
+	cb := CanonicalizeCorr(b.Records)
+	res := DiffResult{ARecords: len(ca), BRecords: len(cb)}
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	for i := 0; i < n; i++ {
+		if canonicalJSON(ca[i]) == canonicalJSON(cb[i]) {
+			continue
+		}
+		ra, rb := ca[i], cb[i]
+		res.Divergence = &Divergence{
+			Index:    i,
+			A:        &ra,
+			B:        &rb,
+			ContextA: chainContext(ca, i, maxDiffContext),
+			ContextB: chainContext(cb, i, maxDiffContext),
+		}
+		return res
+	}
+	if len(ca) != len(cb) {
+		d := &Divergence{Index: n}
+		if len(ca) > n {
+			ra := ca[n]
+			d.A = &ra
+			d.ContextA = chainContext(ca, n, maxDiffContext)
+		}
+		if len(cb) > n {
+			rb := cb[n]
+			d.B = &rb
+			d.ContextB = chainContext(cb, n, maxDiffContext)
+		}
+		res.Divergence = d
+		return res
+	}
+	res.Identical = true
+	return res
+}
+
+// Render formats the diff result for terminals.
+func (r DiffResult) Render() string {
+	if r.Identical {
+		return fmt.Sprintf("journals identical: %d records (corr canonicalized)\n", r.ARecords)
+	}
+	d := r.Divergence
+	out := fmt.Sprintf("journals diverge at record %d (a: %d records, b: %d records)\n",
+		d.Index, r.ARecords, r.BRecords)
+	side := func(name string, rec *trace.Record, ctx []trace.Record) string {
+		if rec == nil {
+			return fmt.Sprintf("  %s: <journal ended>\n", name)
+		}
+		s := fmt.Sprintf("  %s: %s\n", name, canonicalJSON(*rec))
+		if len(ctx) > 1 {
+			s += fmt.Sprintf("  %s chain context (%d record(s)):\n", name, len(ctx))
+			for _, c := range ctx {
+				s += "    " + canonicalJSON(c) + "\n"
+			}
+		}
+		return s
+	}
+	out += side("a", d.A, d.ContextA)
+	out += side("b", d.B, d.ContextB)
+	return out
+}

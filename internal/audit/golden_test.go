@@ -1,0 +1,149 @@
+package audit_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autrascale/internal/audit"
+	"autrascale/internal/chaos"
+	"autrascale/internal/core"
+	"autrascale/internal/kafka"
+	"autrascale/internal/trace"
+	"autrascale/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden journal")
+
+// goldenJournal runs the golden scenario: one wordcount job under the
+// heavy fault profile (rescales fail with p=0.3, a machine dies at
+// t=1200s mid-planning and recovers at t=2400s) with a rate step. The
+// first planning session spans the kill, so its decision chain carries
+// BO iterations, failed rescale attempts, committed rescales, AND the
+// chaos event — the full causal chain the attribution layer exists to
+// reconstruct.
+func goldenJournal(t *testing.T) []byte {
+	t.Helper()
+	tr := trace.New(0)
+	fl := trace.NewFlightRecorder(1 << 14)
+	tr.AttachFlight(fl)
+	engine, err := workloads.NewEngine(workloads.WordCount(), workloads.EngineOptions{
+		Schedule: kafka.StepSchedule{Steps: []kafka.Step{
+			{FromSec: 0, Rate: 1500},
+			{FromSec: 7200, Rate: 2000},
+		}},
+		Seed:   42,
+		Chaos:  chaos.New(chaos.Heavy(), 42),
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := core.NewController(engine, core.ControllerConfig{
+		TargetLatencyMS: 160,
+		Seed:            42,
+		Tracer:          tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Run(10800); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fl.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The golden-journal regression: the scenario's journal must stay
+// byte-identical to testdata/golden_journal.jsonl. Bless intentional
+// changes with `go test ./internal/audit -run Golden -update`.
+func TestGoldenJournal(t *testing.T) {
+	got := goldenJournal(t)
+	path := filepath.Join("testdata", "golden_journal.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden journal rewritten: %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden journal (regenerate with -update): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("journal drifted at line %d:\n got  %s\n want %s\n(bless with -update if intentional)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("journal length drifted: got %d lines, golden has %d (bless with -update if intentional)",
+		len(gotLines), len(wantLines))
+}
+
+// The acceptance criterion: attribution over the golden journal must
+// reconstruct a full decision→rescale→chaos chain for at least one
+// decision, and explain the SLO consequence when one was journaled.
+func TestGoldenJournalAttribution(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "golden_journal.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden journal (regenerate with -update): %v", err)
+	}
+	j, err := audit.ReadJournal(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Gaps) != 0 || len(j.UnknownKinds) != 0 {
+		t.Fatalf("golden journal should be gap-free with known kinds: gaps=%v unknown=%v",
+			j.Gaps, j.UnknownKinds)
+	}
+	atts := j.Attributions()
+	if len(atts) == 0 {
+		t.Fatal("golden journal has no decision chains")
+	}
+	var full *audit.Attribution
+	sawBO := false
+	for i := range atts {
+		a := atts[i]
+		if a.BOIterations > 0 {
+			sawBO = true
+		}
+		if full == nil && a.Rescales > 0 && a.FailedAttempts > 0 && len(a.ChaosEvents) > 0 {
+			full = &atts[i]
+		}
+	}
+	if full == nil {
+		t.Fatalf("no attribution reconstructs the full decision→rescale→chaos chain; got %+v", atts)
+	}
+	if !sawBO {
+		t.Fatal("no attribution carries BO iterations — the planning sessions are missing from the journal")
+	}
+	killed := false
+	for _, ev := range full.ChaosEvents {
+		if ev.Down {
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatalf("the chain's chaos events include no kill: %+v", full.ChaosEvents)
+	}
+	if full.Outcome == "" {
+		t.Fatal("attribution has no outcome verdict")
+	}
+	if full.NextSLO == nil {
+		t.Fatalf("the chain should resolve the job's next SLO crossing: %+v", full)
+	}
+}

@@ -120,6 +120,9 @@ type Controller struct {
 	tracer  *trace.Tracer
 	inst    *ctlInstruments
 	slo     *slo.Tracker
+	// lastSLO is the burn-rate state after the previous step; crossing to
+	// a different state journals a KindSLOState flight record.
+	lastSLO slo.State
 
 	curRate  float64
 	rateEWMA *stat.EWMA
@@ -189,6 +192,7 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 		tracer:  cfg.Tracer,
 		inst:    newCtlInstruments(e.Store(), e.JobName()),
 		slo:     slo.New(sloCfg),
+		lastSLO: slo.StateHealthy,
 		// Smooth the observed input rate (half-life one policy window) so the
 		// controller re-plans on sustained shifts, not window jitter.
 		rateEWMA: stat.NewEWMA(stat.HalfLifeAlpha(1)),
@@ -237,7 +241,7 @@ func (c *Controller) pushReport(r DecisionReport) {
 	if c.tracer.FlightEnabled() {
 		c.tracer.Emit(trace.Record{
 			TimeSec: r.TimeSec,
-			Kind:    "decision",
+			Kind:    trace.KindDecision,
 			Job:     c.engine.JobName(),
 			Attrs: map[string]any{
 				"action":   string(r.Action),
@@ -249,7 +253,7 @@ func (c *Controller) pushReport(r DecisionReport) {
 		for _, it := range r.Iters {
 			c.tracer.Emit(trace.Record{
 				TimeSec: r.TimeSec,
-				Kind:    "bo.iteration",
+				Kind:    trace.KindBOIteration,
 				Job:     c.engine.JobName(),
 				Attrs: map[string]any{
 					"iter":       it.Iter,
@@ -287,6 +291,21 @@ func (c *Controller) pushReport(r DecisionReport) {
 // burn-rate pipeline costs O(steps), never a separate walk.
 func (c *Controller) recordStepMetrics(m flink.Measurement) {
 	c.slo.Observe(c.engine.Now(), m.ProcLatencyMS, m.LagRecords, m.InputRateRPS)
+	if h := c.slo.Health(); h.State != c.lastSLO {
+		if c.tracer.FlightEnabled() {
+			c.tracer.Emit(trace.Record{
+				TimeSec: c.engine.Now(),
+				Kind:    trace.KindSLOState,
+				Job:     c.engine.JobName(),
+				Attrs: map[string]any{
+					"from":      string(c.lastSLO),
+					"to":        string(h.State),
+					"burn_rate": h.BurnRate,
+				},
+			})
+		}
+		c.lastSLO = h.State
+	}
 	if c.inst == nil {
 		return
 	}

@@ -677,7 +677,7 @@ func (f *Fleet) Round() {
 				// id, so the quarantine joins that decision's causal chain.
 				j.tracer.Emit(trace.Record{
 					TimeSec: f.nowSec,
-					Kind:    "fleet.quarantine",
+					Kind:    trace.KindQuarantine,
 					Job:     j.spec.Name,
 					Attrs:   map[string]any{"error": j.err.Error()},
 				})

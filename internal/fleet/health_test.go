@@ -227,3 +227,41 @@ func TestJobsPagePagination(t *testing.T) {
 		t.Fatalf("chunked listing = %v, want %v", all, names)
 	}
 }
+
+// The paging edge cases scripts hit in practice: an offset exactly at
+// the end (the natural stop of chunked iteration), limit 0 from a
+// nonzero offset (tail of the list), and a final page shorter than the
+// limit.
+func TestJobsPageEdges(t *testing.T) {
+	f, err := New(Config{TotalCores: 256, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"e0", "e1", "e2", "e3", "e4"}
+	for _, n := range names {
+		if err := f.Submit(testJob(t, n, 1500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// offset == len: an empty page, not an error, and the total intact.
+	page, total := f.JobsPage(len(names), 2)
+	if len(page) != 0 || total != 5 {
+		t.Fatalf("page(len, 2) = %v total %d, want empty page, total 5", page, total)
+	}
+
+	// limit 0 means "the rest", from any offset.
+	if page, _ = f.JobsPage(3, 0); len(page) != 2 || page[0].Name != "e3" || page[1].Name != "e4" {
+		t.Fatalf("page(3, 0) = %+v, want [e3 e4]", page)
+	}
+
+	// The last page of a limit-2 walk holds the single leftover job.
+	if page, _ = f.JobsPage(4, 2); len(page) != 1 || page[0].Name != "e4" {
+		t.Fatalf("page(4, 2) = %+v, want [e4]", page)
+	}
+
+	// limit > remaining never fabricates entries.
+	if page, _ = f.JobsPage(2, 100); len(page) != 3 {
+		t.Fatalf("page(2, 100) returned %d jobs, want 3", len(page))
+	}
+}

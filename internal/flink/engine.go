@@ -339,7 +339,7 @@ func (e *Engine) SetParallelism(p dataflow.ParallelismVector) error {
 		if e.tracer.FlightEnabled() {
 			e.tracer.Emit(trace.Record{
 				TimeSec: e.nowSec,
-				Kind:    "rescale.attempt",
+				Kind:    trace.KindRescaleAttempt,
 				Job:     e.jobName,
 				Attrs: map[string]any{
 					"to":      p.String(),
@@ -375,7 +375,7 @@ func (e *Engine) applyRescale(p dataflow.ParallelismVector, attempt int) {
 	if e.tracer.FlightEnabled() {
 		e.tracer.Emit(trace.Record{
 			TimeSec: e.nowSec,
-			Kind:    "rescale",
+			Kind:    trace.KindRescale,
 			Job:     e.jobName,
 			Attrs: map[string]any{
 				"from":         e.par.String(),
@@ -602,12 +602,19 @@ func (e *Engine) applyChaosSchedules() {
 			err = e.RecoverMachine(name)
 		}
 		if err == nil && e.tracer.FlightEnabled() {
-			e.tracer.Emit(trace.Record{
+			rec := trace.Record{
 				TimeSec: e.nowSec,
-				Kind:    "chaos.machine",
+				Kind:    trace.KindChaosMachine,
 				Job:     e.jobName,
 				Attrs:   map[string]any{"machine": name, "down": ev.Down},
-			})
+			}
+			// A kill firing between controller steps has no decision in
+			// flight; mint a chain key so the event never lands on corr 0
+			// (audit treats corr 0 as "unattributable").
+			if e.tracer.Corr() == 0 {
+				rec.Corr = e.tracer.NewCorr()
+			}
+			e.tracer.Emit(rec)
 		}
 		if err != nil && e.tracer.Enabled() {
 			sp := e.tracer.StartSpan("flink.chaos_event_skipped")

@@ -133,6 +133,75 @@ func TestDegradedBetweenThresholds(t *testing.T) {
 	}
 }
 
+// The state thresholds are inclusive: burn exactly at BurnDegraded is
+// degraded, exactly at BurnPage is burning. A first observation sets
+// both windows to the sample value exactly (no decay yet), so choosing
+// power-of-two budgets makes the division exact and pins the boundary.
+func TestStateThresholdsAreInclusive(t *testing.T) {
+	// One violating first sample with budget 1: burn = 1/1 = 1.0, exactly
+	// the BurnDegraded default.
+	tr := New(Config{TargetLatencyMS: 100, ViolationBudget: 1})
+	tr.Observe(60, 500, 0, 1000)
+	h := tr.Health()
+	if h.BurnRate != 1.0 {
+		t.Fatalf("burn = %v, want exactly 1.0", h.BurnRate)
+	}
+	if h.State != StateDegraded {
+		t.Fatalf("burn exactly at BurnDegraded: state %s, want degraded", h.State)
+	}
+
+	// Budget 1/16 with BurnPage 16: burn = 1/0.0625 = 16 exactly.
+	tr = New(Config{TargetLatencyMS: 100, ViolationBudget: 0.0625, BurnPage: 16})
+	tr.Observe(60, 500, 0, 1000)
+	h = tr.Health()
+	if h.BurnRate != 16.0 {
+		t.Fatalf("burn = %v, want exactly 16.0", h.BurnRate)
+	}
+	if h.State != StateBurning {
+		t.Fatalf("burn exactly at BurnPage: state %s, want burning", h.State)
+	}
+
+	// Just under the degraded threshold stays healthy: budget 1 with
+	// BurnDegraded raised above the achievable burn of 1.
+	tr = New(Config{TargetLatencyMS: 100, ViolationBudget: 1, BurnDegraded: 1.5, BurnPage: 20})
+	tr.Observe(60, 500, 0, 1000)
+	if h = tr.Health(); h.State != StateHealthy {
+		t.Fatalf("burn 1.0 under BurnDegraded 1.5: state %s, want healthy", h.State)
+	}
+}
+
+// Recovery is governed by the fast window: after a sustained burn, clean
+// samples pull the fast window under the threshold within minutes while
+// the slow window still remembers the incident, and min(fast, slow)
+// must side with the fast one.
+func TestFastSlowCrossoverOnRecovery(t *testing.T) {
+	tr := New(Config{TargetLatencyMS: 200})
+	steadyObserve(tr, 100, 60, 500, 0, 1000)
+	if h := tr.Health(); h.State != StateBurning {
+		t.Fatalf("setup: want burning, got %s", h.State)
+	}
+	// 20 minutes of clean samples: fast (tau 300s) decays to e^-4 ≈ 2% of
+	// its saturated value; slow (tau 3600s) barely moves.
+	last := 100.0 * 60
+	for i := 1; i <= 20; i++ {
+		tr.Observe(last+float64(i)*60, 100, 0, 1000)
+	}
+	h := tr.Health()
+	if h.Latency.FastBurn >= h.Latency.SlowBurn {
+		t.Fatalf("fast window should have crossed under the slow one: fast %v, slow %v",
+			h.Latency.FastBurn, h.Latency.SlowBurn)
+	}
+	if h.Latency.SlowBurn < 14.4 {
+		t.Fatalf("slow window forgot the incident too fast: %v", h.Latency.SlowBurn)
+	}
+	if h.BurnRate != math.Min(h.Latency.FastBurn, h.Latency.SlowBurn) {
+		t.Fatalf("governing burn %v is not min(fast, slow) %+v", h.BurnRate, h.Latency)
+	}
+	if h.State == StateBurning {
+		t.Fatalf("recovery should have left burning within 20 min: %+v", h)
+	}
+}
+
 func TestSeverityOrdering(t *testing.T) {
 	if !(StateHealthy.Severity() < StateDegraded.Severity() &&
 		StateDegraded.Severity() < StateBurning.Severity()) {

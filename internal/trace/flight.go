@@ -38,15 +38,10 @@ const DefaultHistoryCap = 128
 // or one job's multi-day run.
 const DefaultFlightCapacity = 32 * DefaultHistoryCap
 
-// Record is one flight-recorder event. Kind names form a small stable
-// vocabulary:
-//
-//	decision         one controller decision (action, rate, chosen par)
-//	bo.iteration     one BO iteration inside that decision
-//	rescale.attempt  one failed rescale attempt (retry path)
-//	rescale          a committed reconfiguration
-//	chaos.machine    an injected machine kill/recovery
-//	fleet.quarantine a job quarantined at the round barrier
+// Record is one flight-recorder event. Kind names form the small
+// stable vocabulary enumerated in journal.go (KindDecision,
+// KindBOIteration, KindRescaleAttempt, KindRescale, KindChaosMachine,
+// KindQuarantine, KindSLOState).
 //
 // Corr groups records of one causal chain: every record emitted while a
 // controller step is in flight carries that step's correlation ID.
@@ -58,9 +53,9 @@ type Record struct {
 	// record is not part of a decision chain).
 	Corr uint64 `json:"corr,omitempty"`
 	// TimeSec is simulated time.
-	TimeSec float64 `json:"t_sec"`
-	Kind    string  `json:"kind"`
-	Job     string  `json:"job,omitempty"`
+	TimeSec float64    `json:"t_sec"`
+	Kind    RecordKind `json:"kind"`
+	Job     string     `json:"job,omitempty"`
 	// Attrs carry kind-specific payload; map keys marshal sorted, so
 	// the JSONL encoding of a seeded run is reproducible.
 	Attrs map[string]any `json:"attrs,omitempty"`
@@ -151,13 +146,80 @@ func (r *FlightRecorder) Dropped() uint64 {
 	return r.dropped
 }
 
+// flightWriteChunk bounds how many records WriteJSONL materializes at a
+// time — a full dump of a large ring streams in bounded memory instead
+// of snapshotting the whole journal per request.
+const flightWriteChunk = 256
+
+// copyFrom copies into dst the oldest retained records whose Seq >= seq
+// (in seq order) and returns how many were copied. Records evicted
+// since the caller computed seq are skipped, never duplicated.
+func (r *FlightRecorder) copyFrom(seq uint64, dst []Record) int {
+	if r == nil || len(dst) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if n == 0 || seq > r.seq {
+		return 0
+	}
+	oldest := r.seq - uint64(n) + 1
+	if seq < oldest {
+		seq = oldest
+	}
+	off := int(seq - oldest)
+	count := n - off
+	if count > len(dst) {
+		count = len(dst)
+	}
+	for i := 0; i < count; i++ {
+		li := off + i
+		if r.full {
+			dst[i] = r.buf[(r.next+li)%n]
+		} else {
+			dst[i] = r.buf[li]
+		}
+	}
+	return count
+}
+
 // WriteJSONL dumps the retained records (oldest-first, most recent
-// limit when limit > 0) one JSON object per line.
+// limit when limit > 0) one JSON object per line. The journal streams
+// in flightWriteChunk-record chunks, so a dump never materializes the
+// full ring; records committed after the call started are not
+// included, and records evicted mid-dump are skipped by seq.
 func (r *FlightRecorder) WriteJSONL(w io.Writer, limit int) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	end := r.seq
+	retained := uint64(len(r.buf))
+	r.mu.Unlock()
+	if retained == 0 {
+		return nil
+	}
+	start := end - retained + 1
+	if limit > 0 && uint64(limit) < retained {
+		start = end - uint64(limit) + 1
+	}
 	enc := json.NewEncoder(w) // Encode appends '\n' — exactly JSONL
-	for _, rec := range r.Snapshot(limit) {
-		if err := enc.Encode(rec); err != nil {
-			return err
+	chunk := make([]Record, flightWriteChunk)
+	for cursor := start; cursor <= end; {
+		n := r.copyFrom(cursor, chunk)
+		if n == 0 {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			rec := chunk[i]
+			if rec.Seq > end {
+				return nil
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			cursor = rec.Seq + 1
 		}
 	}
 	return nil
@@ -212,6 +274,29 @@ func (t *Tracer) SetCorr(id uint64) {
 	t.mu.Lock()
 	t.corr = id
 	t.mu.Unlock()
+}
+
+// Corr returns the correlation ID currently stamped onto emitted
+// records (0 on the nil tracer or outside any decision).
+func (t *Tracer) Corr() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.corr
+}
+
+// NewCorr allocates a fresh nonzero correlation ID from the root span
+// sequence without changing the tracer's current one. Emitters use it
+// for events that happen outside any decision (a chaos injection firing
+// between steps) but must still form a non-zero causal-chain key of
+// their own instead of polluting corr 0.
+func (t *Tracer) NewCorr() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextID()
 }
 
 // Emit journals a flight record: on a buffered conduit it accumulates

@@ -100,7 +100,7 @@ func TestFlightBufferedFlush(t *testing.T) {
 	recs := fl.Snapshot(0)
 	want := []struct {
 		job  string
-		kind string
+		kind RecordKind
 		corr uint64
 	}{
 		{"a", "decision", 100},
