@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp profile chaos fleet audit check experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp profile chaos fleet audit tournament check experiments summary fmt vet clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/ ./internal/fleet/ ./internal/slo/
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/ ./internal/fleet/ ./internal/slo/ ./internal/policy/ ./internal/experiments/
 
 cover:
 	$(GO) test -cover ./...
@@ -28,7 +28,7 @@ bench:
 # pinned at 0 allocs so tracing can never leak into the disabled hot
 # path). Refresh the baseline after a deliberate change with:
 #   make benchcmp BENCHCMP_FLAGS=-update
-BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$|BenchmarkExposition10k$$|BenchmarkJournalDecode$$
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$|BenchmarkExposition10k$$|BenchmarkJournalDecode$$|BenchmarkPolicyStepBO$$|BenchmarkPolicyStepDS2$$|BenchmarkPolicyStepDRS$$
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
@@ -84,12 +84,28 @@ audit:
 	done && \
 	$(GO) run ./cmd/flightctl diff "$$dir/w1.jsonl" "$$dir/w5.jsonl"
 
+# Tournament gate: the policy plug-in layer's registry/adapter property
+# tests and the tournament determinism + golden tests, then the small
+# policy×schedule×chaos grid across a fixed seed matrix — three
+# contenders, two schedules, two chaos profiles per seed, each cell a
+# full controller run; any cell whose controller dies exits non-zero
+# (docs/policies.md).
+TOURNAMENT_SEEDS = 1 7 42
+tournament:
+	$(GO) test ./internal/policy/... ./internal/experiments/
+	@for seed in $(TOURNAMENT_SEEDS); do \
+		echo "== tournament: small grid, seed $$seed =="; \
+		$(GO) run ./cmd/experiments -seed $$seed -workers 4 \
+			-policies bo,ds2-online,drs-true -schedules step,flash-crowd \
+			-chaos none,light -duration 1800 tournament || exit 1; \
+	done
+
 # The full pre-merge gate: static checks, unit tests (which include the
 # chaos, property, metamorphic, and golden layers), the race detector on
 # the concurrency-bearing packages, the benchmark baseline, the seeded
-# chaos soak matrix, the fleet determinism soak, and the journal audit
-# gate.
-check: vet test race benchcmp chaos fleet audit
+# chaos soak matrix, the fleet determinism soak, the journal audit gate,
+# and the policy tournament matrix.
+check: vet test race benchcmp chaos fleet audit tournament
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

@@ -18,12 +18,14 @@ import (
 
 	"autrascale/internal/audit"
 	"autrascale/internal/bo"
+	"autrascale/internal/core"
 	"autrascale/internal/dataflow"
 	"autrascale/internal/experiments"
 	"autrascale/internal/fleet"
 	"autrascale/internal/gp"
 	"autrascale/internal/mat"
 	"autrascale/internal/metrics"
+	"autrascale/internal/policy"
 	"autrascale/internal/stat"
 	"autrascale/internal/trace"
 	"autrascale/internal/transfer"
@@ -589,6 +591,57 @@ func BenchmarkJournalDecode(b *testing.B) {
 		}
 	}
 }
+
+// benchPolicyStep measures one full planning session through the
+// core.Policy interface: fresh engine, steady monitor window, one Plan
+// call. Setup (engine build + MeasureSteady) runs off the clock, so the
+// timed region is exactly what the controller pays per trigger.
+func benchPolicyStep(b *testing.B, name string) {
+	b.Helper()
+	spec := workloads.WordCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := workloads.NewEngine(spec, workloads.EngineOptions{Seed: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol, err := policy.Build(name, policy.Env{
+			TargetLatencyMS: spec.TargetLatencyMS,
+			Seed:            12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := e.MeasureSteady(30, 120)
+		b.StartTimer()
+		res, err := pol.Plan(e, core.PlanRequest{
+			Trigger: core.TriggerRateChange,
+			RateRPS: spec.DefaultRateRPS,
+			Window:  m,
+			TimeSec: e.Now(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Par == nil {
+			b.Fatal("nil plan")
+		}
+	}
+}
+
+// BenchmarkPolicyStepBO is the BO/transfer planner's per-trigger cost
+// under the Policy interface. The benchcmp gate holds its ns/op: the
+// plug-in indirection must cost nothing measurable on the BO hot path.
+func BenchmarkPolicyStepBO(b *testing.B) { benchPolicyStep(b, "bo") }
+
+// BenchmarkPolicyStepDS2 is the DS2 adapter's per-trigger cost (full
+// iterate-measure loop to the linear rule's fixed point).
+func BenchmarkPolicyStepDS2(b *testing.B) { benchPolicyStep(b, "ds2") }
+
+// BenchmarkPolicyStepDRS is the DRS(true) adapter's per-trigger cost
+// (queueing recommendation loop with measurement feedback).
+func BenchmarkPolicyStepDRS(b *testing.B) { benchPolicyStep(b, "drs-true") }
 
 // BenchmarkAblation runs the design-choice ablations (transfer vs scratch
 // vs unified model; true vs observed metric; kernel families).

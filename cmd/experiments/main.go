@@ -6,9 +6,13 @@
 //	experiments [-seed N] [ids...]
 //
 // where ids are any of: fig1 fig2 fig5 tab2 tab3 fig6 fig7 fig8 tab4
-// ablation summary all
+// ablation summary tournament all
 // (fig6/fig7 are views over the same runs as tab2/tab3, so requesting
 // them re-runs the elasticity experiments). With no ids, "all" runs.
+//
+// The tournament id runs the policy×schedule×chaos grid; its axes are
+// subset with -policies/-schedules/-chaos (comma-separated, empty =
+// all) and sized with -duration/-workers.
 package main
 
 import (
@@ -21,11 +25,30 @@ import (
 	"autrascale/internal/experiments"
 )
 
+// splitList parses a comma-separated flag value ("" → nil).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func main() {
 	seed := flag.Uint64("seed", 1, "random seed for all experiments")
 	asJSON := flag.Bool("json", false, "emit raw experiment results as JSON instead of tables")
+	policies := flag.String("policies", "", "tournament: comma-separated policy names (empty: all registered)")
+	schedules := flag.String("schedules", "", "tournament: comma-separated schedule names (empty: all)")
+	chaosAxis := flag.String("chaos", "", "tournament: comma-separated chaos profiles (empty: all)")
+	duration := flag.Float64("duration", 0, "tournament: simulated seconds per cell (0: default)")
+	workers := flag.Int("workers", 1, "tournament: parallel cell runners")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [fig1 fig2 fig5 tab2 tab3 fig6 fig7 fig8 tab4 ablation summary | all]\n",
+		fmt.Fprintf(os.Stderr, "usage: %s [-seed N] [fig1 fig2 fig5 tab2 tab3 fig6 fig7 fig8 tab4 ablation summary tournament | all]\n",
 			os.Args[0])
 		flag.PrintDefaults()
 	}
@@ -114,6 +137,27 @@ func main() {
 		res, err := experiments.RunSummary(experiments.SummaryOptions{Seed: *seed})
 		if err != nil {
 			fail("summary", err)
+		}
+		show(res)
+	}
+	if all || want["tournament"] {
+		res, err := experiments.RunTournament(experiments.TournamentOptions{
+			Seed:        *seed,
+			Policies:    splitList(*policies),
+			Schedules:   splitList(*schedules),
+			Chaos:       splitList(*chaosAxis),
+			DurationSec: *duration,
+			Workers:     *workers,
+		})
+		if err != nil {
+			fail("tournament", err)
+		}
+		// A cell whose controller died is a gate failure, not a footnote:
+		// make tournament must go red on it.
+		for _, c := range res.Cells {
+			if c.Err != "" {
+				fail("tournament", fmt.Errorf("cell %s/%s/%s: %s", c.Policy, c.Schedule, c.Chaos, c.Err))
+			}
 		}
 		show(res)
 	}

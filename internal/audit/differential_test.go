@@ -1,0 +1,82 @@
+package audit_test
+
+import (
+	"bytes"
+	"testing"
+
+	"autrascale/internal/audit"
+	"autrascale/internal/chaos"
+	"autrascale/internal/core"
+	"autrascale/internal/fleet"
+	"autrascale/internal/trace"
+	"autrascale/internal/workloads"
+)
+
+// policyJournal runs a pinned fleet scenario and returns its flight
+// journal. With explicitBO false, controllers use the nil-Policy default
+// (the pre-refactor construction path); with true, every job carries an
+// explicit BO policy builder wired from its PolicyEnv.
+func policyJournal(t *testing.T, explicitBO bool) *audit.Journal {
+	t.Helper()
+	const jobs = 4
+	tr := trace.New(0)
+	tr.AttachFlight(trace.NewFlightRecorder(1 << 15))
+	fl, err := fleet.New(fleet.Config{
+		TotalCores: jobs * 32,
+		Workers:    4,
+		Seed:       23,
+		Chaos:      chaos.Light(),
+		Tracer:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range fleet.StaggeredJobs(workloads.WordCount(), jobs, 1500) {
+		if explicitBO {
+			js.Policy = func(env fleet.PolicyEnv) (core.Policy, error) {
+				return core.NewBOPolicy(core.BOConfig{
+					TargetLatencyMS: env.TargetLatencyMS,
+					MaxIterations:   env.MaxIterations,
+					Seed:            env.Seed,
+					Library:         env.Library,
+					Tracer:          env.Tracer,
+				})
+			}
+		}
+		if err := fl.Submit(js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.RunUntil(3600)
+
+	var buf bytes.Buffer
+	if err := tr.Flight().WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	j, err := audit.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Records) == 0 {
+		t.Fatal("fleet run journaled no records")
+	}
+	return j
+}
+
+// The refactor's journal-level proof, through the same Diff engine
+// `flightctl diff` uses: a same-seed fleet run journals bit-identically
+// whether its controllers build the BO planner via the nil-Policy
+// default or via an explicit JobSpec.Policy builder. Every decision
+// record, BO-iteration record, rescale attempt, and chaos injection must
+// line up — the Policy indirection may not move a single record.
+func TestJournalIdenticalDefaultVsExplicitPolicy(t *testing.T) {
+	a := policyJournal(t, false)
+	b := policyJournal(t, true)
+	res := audit.Diff(a, b)
+	if !res.Identical {
+		t.Fatalf("default vs explicit-policy journals diverge:\n%s", res.Render())
+	}
+	if res.ARecords != res.BRecords || res.ARecords == 0 {
+		t.Fatalf("unexpected record counts: a=%d b=%d", res.ARecords, res.BRecords)
+	}
+}

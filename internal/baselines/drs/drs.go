@@ -89,6 +89,19 @@ func (p *Policy) serviceRates(m flink.Measurement) []float64 {
 	return m.TrueRatePerInstance
 }
 
+// Arrivals projects per-operator arrival rates at the target source rate
+// — the open-Jackson-network input the latency model and the policy
+// adapter's utilization ranking both need.
+func Arrivals(g *dataflow.Graph, target float64) []float64 {
+	return arrivals(g, target)
+}
+
+// ServiceRates exposes the per-instance service rates the policy's
+// variant reads from a measurement (true vs observed metric).
+func (p *Policy) ServiceRates(m flink.Measurement) []float64 {
+	return p.serviceRates(m)
+}
+
 // arrivals projects per-operator arrival rates at the target source rate.
 func arrivals(g *dataflow.Graph, target float64) []float64 {
 	n := g.NumOperators()

@@ -61,6 +61,11 @@ type ControllerConfig struct {
 	// hours of steady one-per-minute steps). Long fleet soaks would
 	// otherwise grow the event log without bound.
 	EventHistory int
+	// Policy is the scaling policy the MAPE loop drives (nil: the
+	// paper's BO/transfer planner, assembled from this configuration).
+	// Every policy runs under the same engine, chaos profile, trace and
+	// flight surface, SLO tracker, and degradation path.
+	Policy Policy
 }
 
 func (c *ControllerConfig) defaults() error {
@@ -98,6 +103,9 @@ const (
 	// after retries; the controller kept the last-known-good
 	// configuration and will re-plan on the next policy tick.
 	ActionDegraded ActionKind = "degraded"
+	// ActionPolicy: a non-BO plug-in policy (DS2, DRS, …) planned this
+	// step; the report's Reason names the policy and what it did.
+	ActionPolicy ActionKind = "policy"
 )
 
 // Event records one controller decision.
@@ -109,13 +117,21 @@ type Event struct {
 	Par           dataflow.ParallelismVector
 	ProcLatencyMS float64
 	ThroughputRPS float64
+	// LagRecords and CPUUsedCores carry the window's backlog and CPU
+	// usage so consumers (the tournament's lag-integral and cores·sec
+	// accounting) need no second measurement pass.
+	LagRecords   float64
+	CPUUsedCores float64
 }
 
 // Controller is the paper's Scaling Manager + Policy Controller + System
 // Scheduler stack, driving a single job.
 type Controller struct {
-	engine  *flink.Engine
-	cfg     ControllerConfig
+	engine *flink.Engine
+	cfg    ControllerConfig
+	// policy plans every rescale; the MAPE loop (monitor, trigger
+	// detection, degradation, SLO tracking, journaling) stays here.
+	policy  Policy
 	library *transfer.ModelLibrary
 	tracer  *trace.Tracer
 	inst    *ctlInstruments
@@ -126,7 +142,6 @@ type Controller struct {
 
 	curRate  float64
 	rateEWMA *stat.EWMA
-	base     dataflow.ParallelismVector
 	events   []Event
 	reports  []DecisionReport
 }
@@ -181,6 +196,35 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 	if lib == nil {
 		lib = transfer.NewModelLibrary()
 	}
+	pol := cfg.Policy
+	if pol == nil {
+		// The default policy is the paper's planner, assembled from this
+		// configuration — behaviorally identical to the pre-interface
+		// controller (the differential golden tests lock this in).
+		var err error
+		pol, err = NewBOPolicy(BOConfig{
+			TargetLatencyMS:   cfg.TargetLatencyMS,
+			Alpha:             cfg.Alpha,
+			OverAllocationW:   cfg.OverAllocationW,
+			Xi:                cfg.Xi,
+			BootstrapM:        cfg.BootstrapM,
+			MaxIterations:     cfg.MaxIterations,
+			PolicyIntervalSec: cfg.PolicyIntervalSec,
+			PolicyRunningSec:  cfg.PolicyRunningSec,
+			Seed:              cfg.Seed,
+			Library:           lib,
+			Tracer:            cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// A policy that maintains its own model library (the BO policy)
+	// supersedes the controller's: fleet model publication and warm
+	// starts must see what the policy actually learned.
+	if lp, ok := pol.(libraryProvider); ok {
+		lib = lp.Library()
+	}
 	sloCfg := cfg.SLO
 	if sloCfg.TargetLatencyMS <= 0 {
 		sloCfg.TargetLatencyMS = cfg.TargetLatencyMS
@@ -188,6 +232,7 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 	return &Controller{
 		engine:  e,
 		cfg:     cfg,
+		policy:  pol,
 		library: lib,
 		tracer:  cfg.Tracer,
 		inst:    newCtlInstruments(e.Store(), e.JobName()),
@@ -198,6 +243,9 @@ func NewController(e *flink.Engine, cfg ControllerConfig) (*Controller, error) {
 		rateEWMA: stat.NewEWMA(stat.HalfLifeAlpha(1)),
 	}, nil
 }
+
+// Policy exposes the scaling policy driving this controller.
+func (c *Controller) Policy() Policy { return c.policy }
 
 // Library exposes the benefit-model library (for inspection/tests).
 func (c *Controller) Library() *transfer.ModelLibrary { return c.library }
@@ -322,8 +370,14 @@ func (c *Controller) SLOHealth() slo.Health { return c.slo.Health() }
 // no metrics) — the scrape surface for the instruments above.
 func (c *Controller) Store() *metrics.Store { return c.engine.Store() }
 
-// Base returns the current throughput-optimal configuration k'.
-func (c *Controller) Base() dataflow.ParallelismVector { return c.base.Clone() }
+// Base returns the current throughput-optimal configuration k' when the
+// policy tracks one (the BO policy does); nil otherwise.
+func (c *Controller) Base() dataflow.ParallelismVector {
+	if bp, ok := c.policy.(baseProvider); ok {
+		return bp.Base()
+	}
+	return nil
+}
 
 // Step performs one MAPE pass: observe a policy window, decide, act.
 func (c *Controller) Step() (Event, error) {
@@ -352,6 +406,8 @@ func (c *Controller) Step() (Event, error) {
 		Par:           m.Par.Clone(),
 		ProcLatencyMS: m.ProcLatencyMS,
 		ThroughputRPS: m.ThroughputRPS,
+		LagRecords:    m.LagRecords,
+		CPUUsedCores:  m.CPUUsedCores,
 		Action:        ActionNone,
 	}
 	c.recordStepMetrics(m)
@@ -372,10 +428,11 @@ func (c *Controller) Step() (Event, error) {
 
 	switch {
 	case rateChanged:
-		switch err := c.replan(rate, &ev, sp); {
+		switch err := c.plan(TriggerRateChange, rate, m, &ev, sp); {
 		case err == nil:
 			c.rateEWMA.Reset()
 			c.rateEWMA.Observe(rate)
+			c.curRate = rate
 			// A planning session runs many trial configurations and leaves a
 			// large source backlog behind. Let the final restart complete,
 			// then resume from the latest offsets — production controllers
@@ -389,16 +446,8 @@ func (c *Controller) Step() (Event, error) {
 			return ev, err
 		}
 	case !c.qosOK(m):
-		ev.Action = ActionAlgorithm1
-		ev.Reason = fmt.Sprintf("QoS out of range (latency %.0fms, throughput %.0f rps)",
-			m.ProcLatencyMS, m.ThroughputRPS)
-		rep := DecisionReport{TimeSec: ev.TimeSec, Action: ev.Action, Reason: ev.Reason, RateRPS: rate}
-		switch a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate)); {
+		switch err := c.plan(TriggerQoS, rate, m, &ev, sp); {
 		case err == nil:
-			c.storeModel(rate, a1.Model)
-			ev.Par = a1.Best.Par.Clone()
-			rep.FillFromAlgorithm1(a1)
-			c.pushReport(rep)
 			e.Run(30)
 			e.SeekToLatest()
 		case errors.Is(err, flink.ErrRescaleFailed):
@@ -419,70 +468,35 @@ func (c *Controller) Step() (Event, error) {
 	return ev, nil
 }
 
-// replan reacts to an input-rate change: re-optimize throughput, then run
-// Algorithm 2 when a previous model exists (else Algorithm 1). parent is
-// the enclosing mape.step span (nil when tracing is off).
-func (c *Controller) replan(rate float64, ev *Event, parent *trace.ActiveSpan) error {
-	e := c.engine
-	sp := parent.Child("mape.plan")
-	defer sp.End()
-	rep := DecisionReport{TimeSec: ev.TimeSec, RateRPS: rate}
-	tr, err := OptimizeThroughput(e, ThroughputOptions{
-		TargetRate: rate,
-		WarmupSec:  c.cfg.PolicyIntervalSec / 2,
-		MeasureSec: c.cfg.PolicyRunningSec,
-		Tracer:     c.tracer,
+// plan invokes the policy for a trigger and commits its outcome: the
+// event takes the policy's action/rationale, the report is retained,
+// journaled, and fed to the decision instruments. A rate-change trigger
+// opens the mape.plan span around the whole planning session (the QoS
+// path never did, and keeps not doing so — span streams must replay
+// byte-for-byte against pre-interface journals). parent is the enclosing
+// mape.step span (nil when tracing is off).
+func (c *Controller) plan(trigger PlanTrigger, rate float64, m flink.Measurement, ev *Event, parent *trace.ActiveSpan) error {
+	var sp *trace.ActiveSpan
+	if trigger == TriggerRateChange {
+		sp = parent.Child("mape.plan")
+		defer sp.End()
+	}
+	res, err := c.policy.Plan(c.engine, PlanRequest{
+		Trigger: trigger,
+		RateRPS: rate,
+		Window:  m,
+		TimeSec: ev.TimeSec,
+		Span:    sp,
 	})
 	if err != nil {
 		return err
 	}
-	c.base = tr.Base
-	rep.Base = tr.Base.Clone()
-	rep.ThroughputIters = tr.Iterations
-	rep.ReachedTarget = tr.ReachedTarget
-	rep.TerminatedByRepeat = tr.TerminatedByRepeat
-
-	prev, havePrev := c.library.Nearest(rate)
-	if havePrev {
-		ev.Action = ActionAlgorithm2
-		ev.Reason = fmt.Sprintf("rate changed to %.0f rps; transferring from model at %.0f rps",
-			rate, prev.RateRPS)
-		rep.TransferSourceRate = prev.RateRPS
-		rep.TransferDistance = math.Abs(rate - prev.RateRPS)
-		rep.LibraryRates = c.library.Rates()
-		if c.tracer.Enabled() {
-			// Algorithm 2's model selection: the candidates considered and
-			// the nearest-rate pick.
-			sp.SetFloat("transfer_source_rate", prev.RateRPS)
-			sp.SetFloat("transfer_distance", rep.TransferDistance)
-			sp.SetInt("library_models", c.library.Len())
-		}
-		a2, err := RunAlgorithm2(e, c.base, prev.Model, Algorithm2Config{
-			Algorithm1Config: c.algorithm1Config(rate),
-		})
-		if err != nil {
-			return err
-		}
-		c.storeModel(rate, a2.Model)
-		ev.Par = a2.Best.Par.Clone()
-		rep.FillFromAlgorithm1(a2.Algorithm1Result)
-		rep.RealRuns = a2.RealRuns
-		rep.EstimatedSamples = a2.EstimatedSamples
-		rep.SwitchedToA1 = a2.SwitchedToA1
-	} else {
-		ev.Action = ActionAlgorithm1
-		ev.Reason = fmt.Sprintf("rate changed to %.0f rps; no prior model", rate)
-		a1, err := RunAlgorithm1(e, c.base, c.algorithm1Config(rate))
-		if err != nil {
-			return err
-		}
-		c.storeModel(rate, a1.Model)
-		ev.Par = a1.Best.Par.Clone()
-		rep.FillFromAlgorithm1(a1)
+	ev.Action = res.Report.Action
+	ev.Reason = res.Report.Reason
+	if res.Par != nil {
+		ev.Par = res.Par
 	}
-	rep.Action, rep.Reason = ev.Action, ev.Reason
-	c.pushReport(rep)
-	c.curRate = rate
+	c.pushReport(res.Report)
 	return nil
 }
 
@@ -509,28 +523,6 @@ func (c *Controller) degrade(ev *Event, rate float64, cause error) {
 	// session would, so the job resumes from live data.
 	e.Run(30)
 	e.SeekToLatest()
-}
-
-func (c *Controller) algorithm1Config(rate float64) Algorithm1Config {
-	return Algorithm1Config{
-		TargetRate:      rate,
-		TargetLatencyMS: c.cfg.TargetLatencyMS,
-		Alpha:           c.cfg.Alpha,
-		OverAllocationW: c.cfg.OverAllocationW,
-		Xi:              c.cfg.Xi,
-		BootstrapM:      c.cfg.BootstrapM,
-		MaxIterations:   c.cfg.MaxIterations,
-		WarmupSec:       c.cfg.PolicyIntervalSec / 2,
-		MeasureSec:      c.cfg.PolicyRunningSec,
-		Seed:            c.cfg.Seed,
-		Tracer:          c.tracer,
-	}
-}
-
-func (c *Controller) storeModel(rate float64, model transfer.Predictor) {
-	if model != nil {
-		_ = c.library.Put(rate, model) // rate > 0 guaranteed by caller
-	}
 }
 
 // qosOK checks latency and throughput against targets.

@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"autrascale/internal/core"
+)
+
+// The fleet-level differential golden test: every job driven by an
+// EXPLICIT BO policy builder (JobSpec.Policy set, constructed from the
+// admission-time PolicyEnv) must replay the fleet golden trace the
+// nil-Policy default produces — warm starts, shared-library publication,
+// and worker scheduling included. Like the core differential test, this
+// never writes the golden.
+func TestGoldenTraceFleetExplicitBOPolicy(t *testing.T) {
+	got := goldenFleetWith(t, 4, func(spec *JobSpec) {
+		spec.Policy = func(env PolicyEnv) (core.Policy, error) {
+			return core.NewBOPolicy(core.BOConfig{
+				TargetLatencyMS: env.TargetLatencyMS,
+				MaxIterations:   env.MaxIterations,
+				Seed:            env.Seed,
+				Library:         env.Library,
+				Tracer:          env.Tracer,
+			})
+		}
+	})
+
+	blob, err := os.ReadFile(filepath.Join("testdata", "fleet_golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (bless via the default-path test with -update): %v", err)
+	}
+	var want []goldenJob
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("explicit-policy fleet produced %d jobs, golden has %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			g, _ := json.Marshal(got[i])
+			w, _ := json.Marshal(want[i])
+			t.Errorf("job %s diverged between construction paths:\n explicit %s\n golden   %s",
+				want[i].Name, g, w)
+		}
+	}
+}

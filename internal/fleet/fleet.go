@@ -142,6 +142,32 @@ type JobSpec struct {
 	// Signature keys the fleet's shared model library: jobs with equal
 	// signatures exchange benefit models (default: the workload name).
 	Signature string
+	// Policy builds the job's scaling policy from its admission-time
+	// environment (nil: the paper's BO/transfer planner). Non-BO policies
+	// ignore the warm-start library, so model publication becomes a no-op
+	// for them while quarantine, health, and journaling work unchanged.
+	Policy PolicyBuilder
+}
+
+// PolicyBuilder constructs a job's scaling policy at admission.
+type PolicyBuilder func(PolicyEnv) (core.Policy, error)
+
+// PolicyEnv is what a policy builder sees at admission: the job's
+// targets plus the controller plumbing the fleet wires up (per-job seed,
+// warm-started library, buffered tracer).
+type PolicyEnv struct {
+	// Job is the admitted job's name.
+	Job string
+	// TargetLatencyMS is the job's QoS target after defaulting.
+	TargetLatencyMS float64
+	// Seed is the job's derived seed.
+	Seed uint64
+	// MaxIterations is the per-session planning bound after defaulting.
+	MaxIterations int
+	// Library is the job's (possibly warm-started) private model library.
+	Library *transfer.ModelLibrary
+	// Tracer is the job's buffered trace conduit.
+	Tracer *trace.Tracer
 }
 
 func (s *JobSpec) defaults() error {
@@ -416,12 +442,27 @@ func (f *Fleet) Submit(spec JobSpec) error {
 	if err != nil {
 		return err
 	}
+	var pol core.Policy
+	if spec.Policy != nil {
+		pol, err = spec.Policy(PolicyEnv{
+			Job:             spec.Name,
+			TargetLatencyMS: spec.TargetLatencyMS,
+			Seed:            seed,
+			MaxIterations:   spec.MaxIterations,
+			Library:         lib,
+			Tracer:          jobTracer,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: job %q policy: %w", spec.Name, err)
+		}
+	}
 	ctl, err := core.NewController(engine, core.ControllerConfig{
 		TargetLatencyMS: spec.TargetLatencyMS,
 		MaxIterations:   spec.MaxIterations,
 		Seed:            seed,
 		Library:         lib,
 		Tracer:          jobTracer,
+		Policy:          pol,
 	})
 	if err != nil {
 		return err

@@ -37,24 +37,34 @@ type goldenJob struct {
 // scratch, then four same-signature jobs submitted mid-flight that must
 // warm-start from the fleet's shared model library.
 func goldenFleet(t testing.TB, workers int) []goldenJob {
+	return goldenFleetWith(t, workers, nil)
+}
+
+// goldenFleetWith runs the scenario with an optional per-spec mutation
+// (the differential test swaps in an explicit Policy builder this way).
+func goldenFleetWith(t testing.TB, workers int, mutate func(*JobSpec)) []goldenJob {
+	submit := func(f *Fleet, spec JobSpec) {
+		if mutate != nil {
+			mutate(&spec)
+		}
+		if err := f.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
 	f, err := New(Config{TotalCores: 512, Workers: workers, Seed: 20240601})
 	if err != nil {
 		t.Fatal(err)
 	}
 	coldRates := []float64{1400, 1600, 1800, 2000}
 	for i, r := range coldRates {
-		if err := f.Submit(testJob(t, "cold-"+string(rune('0'+i)), r)); err != nil {
-			t.Fatal(err)
-		}
+		submit(f, testJob(t, "cold-"+string(rune('0'+i)), r))
 	}
 	// Long enough for every cold job's first planning session to finish
 	// and publish its model.
 	f.RunUntil(7200)
 	warmRates := []float64{1500, 1700, 1900, 2100}
 	for i, r := range warmRates {
-		if err := f.Submit(testJob(t, "warm-"+string(rune('0'+i)), r)); err != nil {
-			t.Fatal(err)
-		}
+		submit(f, testJob(t, "warm-"+string(rune('0'+i)), r))
 	}
 	f.RunUntil(14400)
 

@@ -1,0 +1,19 @@
+// Package bo exposes the paper's BO/transfer planner — AuTraScale's
+// Algorithm 1/2 behind Eq. 3's throughput stage — as a core.Policy.
+//
+// The implementation lives in internal/core (the algorithms it drives are
+// there, and the controller's nil-Policy default builds it directly);
+// this package is the registry-facing constructor so tournament code and
+// fleet job specs name it like any other contender.
+package bo
+
+import "autrascale/internal/core"
+
+// Config parameterizes the BO/transfer policy; see core.BOConfig.
+type Config = core.BOConfig
+
+// Policy is the BO/transfer planner; see core.BOPolicy.
+type Policy = core.BOPolicy
+
+// New builds the policy. TargetLatencyMS is required.
+func New(cfg Config) (*Policy, error) { return core.NewBOPolicy(cfg) }

@@ -1,0 +1,151 @@
+// Package drs adapts the DRS queueing-theory baseline
+// (internal/baselines/drs) to the core.Policy interface. On every
+// trigger it rebuilds the M/M/c Jackson-network recommendation for the
+// trigger's rate, applies it, and — when the model claims the current
+// configuration should already meet the target but measured latency
+// disagrees — bumps the highest-utilization operator by one instance
+// (the classic model-error escape, same as the baseline's Run loop).
+//
+// Both of the paper's variants register: service rates from the true
+// (busy-time) metric, and from the observed metric whose idle-time
+// dilution drives the over-provisioning the paper's Fig. 7 shows.
+package drs
+
+import (
+	"errors"
+	"fmt"
+
+	basedrs "autrascale/internal/baselines/drs"
+	"autrascale/internal/core"
+	"autrascale/internal/flink"
+	"autrascale/internal/queueing"
+)
+
+// Config parameterizes the adapter.
+type Config struct {
+	// Variant selects the rate metric feeding the queueing model.
+	Variant basedrs.Variant
+	// PMax caps per-operator parallelism; 0 defaults to the engine
+	// cluster's ceiling at plan time.
+	PMax int
+	// TargetLatencyMS is the latency requirement (required).
+	TargetLatencyMS float64
+	// MaxIterations bounds the plan loop per trigger (default 8).
+	MaxIterations int
+	// WarmupSec/MeasureSec size the per-iteration measurement window
+	// (defaults 30/120 simulated seconds).
+	WarmupSec, MeasureSec float64
+}
+
+func (c *Config) defaults() error {
+	if c.TargetLatencyMS <= 0 {
+		return errors.New("policy/drs: TargetLatencyMS must be > 0")
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 8
+	}
+	if c.WarmupSec <= 0 {
+		c.WarmupSec = 30
+	}
+	if c.MeasureSec <= 0 {
+		c.MeasureSec = 120
+	}
+	return nil
+}
+
+// Policy implements core.Policy with the DRS queueing model.
+type Policy struct {
+	cfg Config
+}
+
+// New validates the configuration and builds the adapter.
+func New(cfg Config) (*Policy, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Policy{cfg: cfg}, nil
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string {
+	if p.cfg.Variant == basedrs.VariantObservedRate {
+		return "drs-observed"
+	}
+	return "drs-true"
+}
+
+// Plan implements core.Policy: recommend → apply → measure, repeating
+// until the measured latency meets the target, the model reaches a
+// fixed point it cannot escape, or the iteration budget runs out.
+func (p *Policy) Plan(e *flink.Engine, req core.PlanRequest) (core.PlanResult, error) {
+	pmax := p.cfg.PMax
+	if pmax <= 0 {
+		pmax = e.Cluster().MaxParallelism()
+	}
+	model, err := basedrs.NewPolicy(p.cfg.Variant, pmax, req.RateRPS, p.cfg.TargetLatencyMS)
+	if err != nil {
+		return core.PlanResult{}, err
+	}
+	lambdas := basedrs.Arrivals(e.Graph(), req.RateRPS)
+	m := req.Window
+	chosen := m.Par.Clone()
+	iters, rescales, escapes := 0, 0, 0
+	for iters < p.cfg.MaxIterations {
+		next, err := model.Recommend(e.Graph(), m)
+		if err != nil {
+			return core.PlanResult{}, err
+		}
+		iters++
+		if next.Equal(m.Par) {
+			if m.ProcLatencyMS <= p.cfg.TargetLatencyMS {
+				break // model and reality agree: done
+			}
+			// Model says this should suffice; measurement disagrees —
+			// add an instance to the most utilized operator.
+			mus := model.ServiceRates(m)
+			worst, worstRho := -1, -1.0
+			for i := range next {
+				if next[i] >= pmax || mus[i] <= 0 {
+					continue
+				}
+				if rho := queueing.Rho(lambdas[i], mus[i], next[i]); rho > worstRho {
+					worstRho = rho
+					worst = i
+				}
+			}
+			if worst == -1 {
+				break // everything at the ceiling; nothing left to try
+			}
+			next[worst]++
+			escapes++
+		}
+		if err := e.SetParallelism(next); err != nil {
+			return core.PlanResult{}, err // ErrRescaleFailed → controller degrades
+		}
+		rescales++
+		chosen = next.Clone()
+		m = e.MeasureSteady(p.cfg.WarmupSec, p.cfg.MeasureSec)
+		if m.ProcLatencyMS <= p.cfg.TargetLatencyMS {
+			break
+		}
+	}
+	req.Span.SetStr("policy", p.Name())
+	req.Span.SetInt("policy_iterations", iters)
+	req.Span.SetInt("policy_rescales", rescales)
+	req.Span.SetInt("policy_escapes", escapes)
+	latencyMet := m.ProcLatencyMS <= p.cfg.TargetLatencyMS
+	rep := core.DecisionReport{
+		TimeSec: req.TimeSec,
+		Action:  core.ActionPolicy,
+		Reason: fmt.Sprintf("%s: M/M/c plan for %.0f rps (%d iteration(s), %d rescale(s), %d escape(s), trigger %s)",
+			p.Name(), req.RateRPS, iters, rescales, escapes, req.Trigger),
+		RateRPS:    req.RateRPS,
+		Chosen:     chosen,
+		LatencyMS:  m.ProcLatencyMS,
+		LatencyMet: latencyMet,
+		Met:        latencyMet,
+		Iterations: iters,
+		Trials:     rescales,
+	}
+	return core.PlanResult{Par: chosen, Report: rep}, nil
+}

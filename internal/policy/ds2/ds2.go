@@ -1,0 +1,145 @@
+// Package ds2 adapts the DS2 baseline (internal/baselines/ds2) to the
+// core.Policy interface, making the linear rule a tournament contender
+// that runs under the same controller, chaos profile, and trace surface
+// as the paper's planner.
+//
+// Two variants:
+//
+//   - offline (the default): on every trigger, iterate DS2's
+//     measure→rule→reconfigure loop until the rule reaches its fixed
+//     point, the throughput target is met, or the iteration budget runs
+//     out — the mode DS2's paper evaluates, paying simulated time for
+//     each intermediate measurement;
+//   - online: apply the rule once per trigger and let the controller's
+//     next monitoring window judge it, mirroring RunOnline's
+//     one-shot-per-interval deployment loop.
+package ds2
+
+import (
+	"errors"
+	"fmt"
+
+	baseds2 "autrascale/internal/baselines/ds2"
+	"autrascale/internal/core"
+	"autrascale/internal/flink"
+)
+
+// Config parameterizes the adapter.
+type Config struct {
+	// PMax caps per-operator parallelism; 0 defaults to the engine
+	// cluster's ceiling at plan time.
+	PMax int
+	// TargetUtilization is the sizing headroom u in the linear rule
+	// (default 1.0 — the pure paper rule).
+	TargetUtilization float64
+	// Epsilon is the relative throughput slack (default 0.02).
+	Epsilon float64
+	// MaxIterations bounds the offline loop per trigger (default 8).
+	MaxIterations int
+	// WarmupSec/MeasureSec size the offline loop's per-iteration
+	// measurement window (defaults 30/120 simulated seconds).
+	WarmupSec, MeasureSec float64
+	// Online applies the rule once per trigger instead of iterating.
+	Online bool
+}
+
+func (c *Config) defaults() error {
+	if c.PMax < 0 {
+		return errors.New("policy/ds2: PMax must be >= 0")
+	}
+	if c.TargetUtilization <= 0 || c.TargetUtilization > 1 {
+		c.TargetUtilization = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.02
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 8
+	}
+	if c.WarmupSec <= 0 {
+		c.WarmupSec = 30
+	}
+	if c.MeasureSec <= 0 {
+		c.MeasureSec = 120
+	}
+	return nil
+}
+
+// Policy implements core.Policy with the DS2 linear rule.
+type Policy struct {
+	cfg Config
+}
+
+// New validates the configuration and builds the adapter.
+func New(cfg Config) (*Policy, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	return &Policy{cfg: cfg}, nil
+}
+
+// Name implements core.Policy.
+func (p *Policy) Name() string {
+	if p.cfg.Online {
+		return "ds2-online"
+	}
+	return "ds2"
+}
+
+// Plan implements core.Policy: size every operator by the linear rule
+// for the trigger's rate. DS2 has no latency model, so rate-change and
+// QoS triggers take the same path — the rule either prescribes a new
+// configuration or it has nothing to offer.
+func (p *Policy) Plan(e *flink.Engine, req core.PlanRequest) (core.PlanResult, error) {
+	pmax := p.cfg.PMax
+	if pmax <= 0 {
+		pmax = e.Cluster().MaxParallelism()
+	}
+	rule := &baseds2.Policy{
+		PMax:              pmax,
+		TargetRate:        req.RateRPS,
+		Epsilon:           p.cfg.Epsilon,
+		TargetUtilization: p.cfg.TargetUtilization,
+	}
+	m := req.Window
+	chosen := m.Par.Clone()
+	iters, rescales := 0, 0
+	for iters < p.cfg.MaxIterations {
+		next, err := rule.Step(e.Graph(), m)
+		if err != nil {
+			return core.PlanResult{}, err
+		}
+		iters++
+		if next.Equal(m.Par) {
+			break // the rule's fixed point: more iterations change nothing
+		}
+		if err := e.SetParallelism(next); err != nil {
+			return core.PlanResult{}, err // ErrRescaleFailed → controller degrades
+		}
+		rescales++
+		chosen = next.Clone()
+		if p.cfg.Online {
+			break // one shot; the next monitoring window judges it
+		}
+		m = e.MeasureSteady(p.cfg.WarmupSec, p.cfg.MeasureSec)
+		if rule.TargetMet(m.ThroughputRPS) {
+			break
+		}
+	}
+	req.Span.SetStr("policy", p.Name())
+	req.Span.SetInt("policy_iterations", iters)
+	req.Span.SetInt("policy_rescales", rescales)
+	rep := core.DecisionReport{
+		TimeSec: req.TimeSec,
+		Action:  core.ActionPolicy,
+		Reason: fmt.Sprintf("%s: linear rule for %.0f rps (%d iteration(s), %d rescale(s), trigger %s)",
+			p.Name(), req.RateRPS, iters, rescales, req.Trigger),
+		RateRPS:    req.RateRPS,
+		Chosen:     chosen,
+		LatencyMS:  m.ProcLatencyMS,
+		Met:        !p.cfg.Online && rule.TargetMet(m.ThroughputRPS),
+		Iterations: iters,
+		Trials:     rescales,
+	}
+	return core.PlanResult{Par: chosen, Report: rep}, nil
+}
