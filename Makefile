@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench benchcmp profile chaos fleet audit tournament check experiments summary fmt vet clean
+.PHONY: all build test race cover bench benchcmp profile chaos fleet audit tournament replay check experiments summary fmt vet clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/ ./internal/fleet/ ./internal/slo/ ./internal/policy/ ./internal/experiments/
+	$(GO) test -race ./internal/metrics/ ./internal/jobs/ ./internal/core/ ./internal/bo/ ./internal/gp/ ./internal/mat/ ./internal/transfer/ ./internal/flink/ ./internal/trace/ ./internal/chaos/ ./internal/fleet/ ./internal/slo/ ./internal/policy/ ./internal/experiments/ ./internal/persist/
 
 cover:
 	$(GO) test -cover ./...
@@ -28,7 +28,7 @@ bench:
 # pinned at 0 allocs so tracing can never leak into the disabled hot
 # path). Refresh the baseline after a deliberate change with:
 #   make benchcmp BENCHCMP_FLAGS=-update
-BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$|BenchmarkExposition10k$$|BenchmarkJournalDecode$$|BenchmarkPolicyStepBO$$|BenchmarkPolicyStepDS2$$|BenchmarkPolicyStepDRS$$
+BENCHCMP_BENCHES = BenchmarkBOSuggest$$|BenchmarkGPFitPredict$$|BenchmarkGPAppend$$|BenchmarkPredictBatch$$|BenchmarkTraceOverhead$$|BenchmarkFleetTick$$|BenchmarkFleetTick10k$$|BenchmarkLibraryNearest$$|BenchmarkExposition10k$$|BenchmarkJournalDecode$$|BenchmarkPolicyStepBO$$|BenchmarkPolicyStepDS2$$|BenchmarkPolicyStepDRS$$|BenchmarkSnapshot10k$$
 benchcmp:
 	$(GO) test -run '^$$' -bench '$(BENCHCMP_BENCHES)' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.json $(BENCHCMP_FLAGS)
@@ -100,12 +100,35 @@ tournament:
 			-chaos none,light -duration 1800 tournament || exit 1; \
 	done
 
+# Replay gate: the durability proof (docs/durability.md). Per seed, a
+# heavy-chaos fleet soak runs with periodic checkpointing and is
+# abandoned mid-flight ("crash" — the checkpoint on disk is whatever the
+# cadence last landed); the fleet is then restored twice from that
+# checkpoint and replayed to the same absolute time, and the two flight
+# journals must be `flightctl diff`-identical — restore is deterministic
+# from the snapshot bytes alone, under machine kills and all.
+REPLAY_SEEDS = 1 7 42
+replay:
+	$(GO) test ./internal/persist/
+	$(GO) test -run 'Replay|Restore|Persist|Checkpoint|Snapshot|Admin' ./internal/fleet/ ./cmd/metricsd/
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	for seed in $(REPLAY_SEEDS); do \
+		echo "== replay: 6 jobs, heavy profile, seed $$seed =="; \
+		$(GO) run ./cmd/autrascale -jobs 6 -duration 2400 -chaos heavy -seed $$seed \
+			-checkpoint "$$dir/ckpt.json" -checkpoint-every 10 | tail -n 1 || exit 1; \
+		for run in a b; do \
+			$(GO) run ./cmd/autrascale -restore "$$dir/ckpt.json" -duration 7200 \
+				-flight "$$dir/$$run.jsonl" | tail -n 1 || exit 1; \
+		done; \
+		$(GO) run ./cmd/flightctl diff "$$dir/a.jsonl" "$$dir/b.jsonl" || exit 1; \
+	done
+
 # The full pre-merge gate: static checks, unit tests (which include the
 # chaos, property, metamorphic, and golden layers), the race detector on
 # the concurrency-bearing packages, the benchmark baseline, the seeded
 # chaos soak matrix, the fleet determinism soak, the journal audit gate,
-# and the policy tournament matrix.
-check: vet test race benchcmp chaos fleet audit tournament
+# the policy tournament matrix, and the crash-replay durability gate.
+check: vet test race benchcmp chaos fleet audit tournament replay
 
 # Reproduce every table and figure of the paper's evaluation.
 experiments:

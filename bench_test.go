@@ -13,6 +13,7 @@ package autrascale_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -25,6 +26,7 @@ import (
 	"autrascale/internal/gp"
 	"autrascale/internal/mat"
 	"autrascale/internal/metrics"
+	"autrascale/internal/persist"
 	"autrascale/internal/policy"
 	"autrascale/internal/stat"
 	"autrascale/internal/trace"
@@ -642,6 +644,33 @@ func BenchmarkPolicyStepDS2(b *testing.B) { benchPolicyStep(b, "ds2") }
 // BenchmarkPolicyStepDRS is the DRS(true) adapter's per-trigger cost
 // (queueing recommendation loop with measurement feedback).
 func BenchmarkPolicyStepDRS(b *testing.B) { benchPolicyStep(b, "drs-true") }
+
+// BenchmarkSnapshot10k measures a full durable-snapshot capture of the
+// 10,000-job fleet: the state walk under the fleet lock (control state
+// copies plus immutable COW library snapshots) and the versioned,
+// checksummed serialization. This is the cost the periodic checkpointer
+// pays per checkpoint — the capture half on the tick path, the encode
+// half in the background — so the benchcmp gate holds it. Declared after
+// the other gated benchmarks on purpose: each capture churns a
+// fleet-sized JSON payload, and the grown heap would tax every benchmark
+// that runs behind it in the same process.
+func BenchmarkSnapshot10k(b *testing.B) {
+	fleet10k.once.Do(func() { fleet10k.fl, fleet10k.err = fleet10kSetup() })
+	if fleet10k.err != nil {
+		b.Fatal(fleet10k.err)
+	}
+	fl := fleet10k.fl
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := fl.PersistState()
+		if err := persist.Encode(io.Discard, st); err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Jobs) != 10000 {
+			b.Fatalf("snapshot holds %d jobs, want 10000", len(st.Jobs))
+		}
+	}
+}
 
 // BenchmarkAblation runs the design-choice ablations (transfer vs scratch
 // vs unified model; true vs observed metric; kernel families).

@@ -6,6 +6,8 @@
 //	autrascale [-workload name] [-rate rps] [-latency ms] [-duration sec]
 //	           [-seed N] [-mode controller|once] [-explain] [-chaos profile]
 //	           [-jobs N] [-workers N] [-flight out.jsonl]
+//	           [-checkpoint path.json] [-checkpoint-every N]
+//	           [-restore snapshot.json]
 //
 // Modes:
 //
@@ -40,6 +42,14 @@
 // scripts never diff a truncated file. -workers resizes the fleet
 // scheduler's pool; it changes wall-clock speed only, and `make audit`
 // proves the journal is worker-count independent.
+//
+// With -checkpoint PATH a fleet run persists a durable snapshot every
+// -checkpoint-every rounds (atomic write: a crash never leaves a torn
+// file), plus a final one on clean exit. -restore PATH boots the fleet
+// from such a snapshot instead of submitting jobs; -duration is then the
+// absolute simulated time to run until, so two restores of the same
+// snapshot replay the same timeline (`make replay` diffs their flight
+// journals to prove it — see docs/durability.md).
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
+	"autrascale/internal/persist"
 	"autrascale/internal/trace"
 	"autrascale/internal/workloads"
 )
@@ -71,6 +82,9 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
 		workers   = flag.Int("workers", 0, "fleet mode: scheduler worker pool size (0: default; never affects decisions)")
 		flightOut = flag.String("flight", "", "write the flight recorder journal to this file as JSONL")
+		ckptPath  = flag.String("checkpoint", "", "fleet mode: persist a snapshot to this file")
+		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint every N rounds (with -checkpoint)")
+		restore   = flag.String("restore", "", "boot the fleet from a snapshot file; -duration becomes the absolute time to run until")
 	)
 	flag.Parse()
 
@@ -101,8 +115,16 @@ func main() {
 		tracer.AttachFlight(trace.NewFlightRecorder(0))
 	}
 
+	if *restore != "" {
+		runRestored(*restore, *workers, *duration, *ckptPath, *ckptEvery, tracer)
+		if err := dumpFlight(tracer, *flightOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *jobs > 0 {
-		runFleet(spec, *jobs, *workers, *rate, *latency, *duration, *seed, profile, tracer)
+		runFleet(spec, *jobs, *workers, *rate, *latency, *duration, *seed, profile, tracer,
+			*ckptPath, *ckptEvery)
 		if err := dumpFlight(tracer, *flightOut); err != nil {
 			fatal(err)
 		}
@@ -268,7 +290,7 @@ func runController(engine *flink.Engine, latency, duration float64, seed uint64,
 // cold at t=0, the other half joining at duration/2 to demonstrate
 // cross-job warm starts, then a per-job summary table.
 func runFleet(spec workloads.Spec, jobs, workers int, rate, latency, duration float64,
-	seed uint64, profile chaos.Profile, tracer *trace.Tracer) {
+	seed uint64, profile chaos.Profile, tracer *trace.Tracer, ckptPath string, ckptEvery int) {
 	store := metrics.NewStore()
 	fl, err := fleet.New(fleet.Config{
 		TotalCores: jobs * 32, // StaggeredJobs default: 2 machines × 16 cores each
@@ -289,19 +311,21 @@ func runFleet(spec workloads.Spec, jobs, workers int, rate, latency, duration fl
 	for i := range specs {
 		specs[i].TargetLatencyMS = latency
 	}
+	cp := newCheckpointer(ckptPath, ckptEvery, fl)
 	firstWave := (jobs + 1) / 2
 	for _, js := range specs[:firstWave] {
 		if err := fl.Submit(js); err != nil {
 			fatal(err)
 		}
 	}
-	fl.RunUntil(duration / 2)
+	runRounds(fl, duration/2, cp)
 	for _, js := range specs[firstWave:] {
 		if err := fl.Submit(js); err != nil {
 			fatal(err)
 		}
 	}
-	fl.RunUntil(duration)
+	runRounds(fl, duration, cp)
+	closeCheckpointer(cp, ckptPath)
 
 	st := fl.Snapshot()
 	fmt.Printf("fleet: %d jobs, %d/%d cores, %d rounds, %d warm starts, %d models shared\n",
@@ -334,6 +358,102 @@ func runFleet(spec workloads.Spec, jobs, workers int, rate, latency, duration fl
 		fmt.Printf("%-16s %-12s %-10.0f %-8d %-11d %-12s %s\n",
 			js.Name, state, jobRate(specs, js.Name), js.Parallelism, len(decisions), firstPlan, trials)
 	}
+}
+
+// runRestored boots a fleet from a durable snapshot and replays it until
+// the absolute simulated time untilSec. Restore is deterministic given
+// the snapshot bytes, so two invocations against the same file emit
+// identical flight journals (`make replay` relies on exactly that).
+func runRestored(path string, workers int, untilSec float64, ckptPath string, ckptEvery int,
+	tracer *trace.Tracer) {
+	st, err := persist.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	store := metrics.NewStore()
+	fl, err := fleet.Restore(st, fleet.RestoreOptions{Workers: workers, Store: store, Tracer: tracer})
+	if err != nil {
+		fatal(err)
+	}
+	chaosName := st.Chaos
+	if chaosName == "" {
+		chaosName = "none"
+	}
+	fmt.Printf("restored fleet from %s: %d jobs at t=%.0fs (chaos %q, seed %d)\n",
+		path, len(st.Jobs), st.NowSec, chaosName, st.Seed)
+	// Models the capture-time Save skipped (opaque, undertrained) are
+	// gone for good — name their rates so the loss is visible, not silent.
+	for _, sh := range st.Shared {
+		if len(sh.SkippedRates) > 0 {
+			fmt.Printf("  shared library %q: models skipped at capture for rates %v\n",
+				sh.Signature, sh.SkippedRates)
+		}
+	}
+	for _, js := range st.Jobs {
+		if len(js.LibrarySkipped) > 0 {
+			fmt.Printf("  job %q: private models skipped at capture for rates %v\n",
+				js.Name, js.LibrarySkipped)
+		}
+	}
+
+	cp := newCheckpointer(ckptPath, ckptEvery, fl)
+	runRounds(fl, untilSec, cp)
+	closeCheckpointer(cp, ckptPath)
+
+	snap := fl.Snapshot()
+	fmt.Printf("fleet: %d jobs, %d/%d cores, %d rounds (t=%.0fs)\n",
+		snap.Jobs, snap.UsedCores, snap.TotalCores, snap.Rounds, snap.NowSec)
+	fmt.Printf("health: %d healthy, %d degraded, %d burning, %d quarantined\n",
+		snap.Health.Healthy, snap.Health.Degraded, snap.Health.Burning, snap.Health.Quarantined)
+	fmt.Printf("%-16s %-12s %-8s %-10s %s\n", "job", "state", "slots", "decisions", "steps")
+	jobStatuses, _ := fl.JobsPage(0, 0)
+	for _, js := range jobStatuses {
+		state := string(js.State)
+		if js.Error != "" {
+			state += " (" + js.Error + ")"
+		}
+		fmt.Printf("%-16s %-12s %-8d %-10d %d\n",
+			js.Name, state, js.Parallelism, js.Decisions, js.Steps)
+	}
+}
+
+// runRounds advances the fleet to untilSec one round at a time, giving
+// the checkpointer a tick between rounds (RunUntil with a durability
+// hook).
+func runRounds(fl *fleet.Fleet, untilSec float64, cp *persist.Checkpointer) {
+	for fl.Now() < untilSec {
+		fl.Round()
+		if cp != nil {
+			cp.Tick()
+		}
+	}
+}
+
+// newCheckpointer wires periodic snapshots into a fleet run; nil when
+// -checkpoint was not given.
+func newCheckpointer(path string, every int, fl *fleet.Fleet) *persist.Checkpointer {
+	if path == "" {
+		return nil
+	}
+	cp, err := persist.NewCheckpointer(path, every, fl.PersistState)
+	if err != nil {
+		fatal(err)
+	}
+	return cp
+}
+
+// closeCheckpointer flushes the final checkpoint; a failed write is
+// fatal so scripts never restore from a file the run could not land.
+func closeCheckpointer(cp *persist.Checkpointer, path string) {
+	if cp == nil {
+		return
+	}
+	if err := cp.Close(); err != nil {
+		fatal(err)
+	}
+	written, skipped := cp.Stats()
+	fmt.Printf("checkpoints: %d written to %s (%d skipped behind slow writes)\n",
+		written, path, skipped)
 }
 
 // jobRate looks a job's configured rate back up from the submitted specs.

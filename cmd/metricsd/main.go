@@ -18,6 +18,15 @@
 //	/debug/pprof/     standard Go profiling endpoints
 //	/healthz          liveness
 //
+// Fleet mode also serves the versioned admin API (see docs/durability.md):
+//
+//	/api/v1/jobs         GET list, POST submit a declarative job spec
+//	/api/v1/jobs/drain   POST {"name": JOB} graceful retirement
+//	/api/v1/jobs/remove  POST {"name": JOB} deletion
+//	/api/v1/snapshot     POST write a durable snapshot to -snapshot,
+//	                     GET download one (restorable via -restore)
+//	/api/v1/library      GET shared warm-start libraries by signature
+//
 // The simulation advances in real time (one simulated second per
 // -tick-interval), so a scraper watches the controller converge live.
 //
@@ -30,7 +39,8 @@
 //
 //	metricsd [-addr :9090] [-workload wordcount] [-latency ms]
 //	         [-tick-interval 10ms] [-seed N] [-trace-capacity 2048]
-//	         [-flight-cap 4096] [-jobs N]
+//	         [-flight-cap 4096] [-jobs N] [-restore snapshot.json]
+//	         [-snapshot path.json] [-checkpoint-every N]
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"autrascale/internal/flink"
 	"autrascale/internal/kafka"
 	"autrascale/internal/metrics"
+	"autrascale/internal/persist"
 	"autrascale/internal/trace"
 	"autrascale/internal/workloads"
 )
@@ -66,6 +77,12 @@ type server struct {
 	// fleet is set in -jobs mode; engine/ctl are nil then (the fleet owns
 	// its jobs' engines and controllers, and has its own lock).
 	fleet *fleet.Fleet
+	// snapshotPath is where POST /api/v1/snapshot and periodic
+	// checkpoints land (empty: the POST answers 409 Conflict).
+	snapshotPath string
+	// checkpointer persists the fleet every -checkpoint-every rounds, off
+	// the tick path (nil when disabled).
+	checkpointer *persist.Checkpointer
 }
 
 // serverConfig parameterizes newServer so tests can build one without
@@ -85,18 +102,21 @@ type serverConfig struct {
 	// Jobs > 0 switches to fleet mode: that many staggered-rate copies of
 	// the workload under one scheduler with cross-job model transfer.
 	Jobs int
+	// Restore boots the daemon from a fleet snapshot instead of
+	// submitting fresh jobs (implies fleet mode; Jobs is ignored).
+	Restore string
+	// SnapshotPath is where POST /api/v1/snapshot and periodic
+	// checkpoints write.
+	SnapshotPath string
+	// CheckpointEvery persists the fleet every N rounds to SnapshotPath
+	// (0: only on demand via the API).
+	CheckpointEvery int
 }
 
 // newServer assembles the simulator, controller, tracer, and store. It
 // does not start the drive loop or listen — callers (main, tests) decide.
 func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
-	var spec workloads.Spec
-	found := false
-	for _, s := range workloads.All() {
-		if s.Name == cfg.Workload {
-			spec, found = s, true
-		}
-	}
+	spec, found := workloads.ByName(cfg.Workload)
 	if !found {
 		return nil, spec, fmt.Errorf("metricsd: unknown workload %q", cfg.Workload)
 	}
@@ -111,6 +131,33 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 	tracer := trace.New(cfg.TraceCapacity)
 	flight := trace.NewFlightRecorder(cfg.FlightCap)
 	tracer.AttachFlight(flight)
+
+	if cfg.Restore != "" {
+		st, err := persist.ReadFile(cfg.Restore)
+		if err != nil {
+			return nil, spec, fmt.Errorf("metricsd: %w", err)
+		}
+		fl, err := fleet.Restore(st, fleet.RestoreOptions{Store: store, Tracer: tracer})
+		if err != nil {
+			return nil, spec, fmt.Errorf("metricsd: %w", err)
+		}
+		// Models the capture-time Save skipped are gone for good — name
+		// their rates so the loss is visible, not silent.
+		for _, sh := range st.Shared {
+			if len(sh.SkippedRates) > 0 {
+				log.Printf("metricsd: restored shared library %q without models for rates %v (skipped at capture)",
+					sh.Signature, sh.SkippedRates)
+			}
+		}
+		for _, js := range st.Jobs {
+			if len(js.LibrarySkipped) > 0 {
+				log.Printf("metricsd: restored job %q without private models for rates %v (skipped at capture)",
+					js.Name, js.LibrarySkipped)
+			}
+		}
+		srv, err := fleetServer(cfg, fl, store, tracer, flight)
+		return srv, spec, err
+	}
 
 	if cfg.Jobs > 0 {
 		fl, err := fleet.New(fleet.Config{
@@ -128,7 +175,8 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 				return nil, spec, err
 			}
 		}
-		return &server{fleet: fl, store: store, tracer: tracer, flight: flight}, spec, nil
+		srv, err := fleetServer(cfg, fl, store, tracer, flight)
+		return srv, spec, err
 	}
 
 	engine, err := workloads.NewEngine(spec, workloads.EngineOptions{
@@ -153,6 +201,25 @@ func newServer(cfg serverConfig) (*server, workloads.Spec, error) {
 	return &server{engine: engine, ctl: ctl, store: store, tracer: tracer, flight: flight}, spec, nil
 }
 
+// fleetServer finishes assembling a fleet-mode server: durability wiring
+// (snapshot path, periodic checkpointer) is shared by the fresh-submit
+// and restore paths.
+func fleetServer(cfg serverConfig, fl *fleet.Fleet, store *metrics.Store,
+	tracer *trace.Tracer, flight *trace.FlightRecorder) (*server, error) {
+	srv := &server{
+		fleet: fl, store: store, tracer: tracer, flight: flight,
+		snapshotPath: cfg.SnapshotPath,
+	}
+	if cfg.SnapshotPath != "" && cfg.CheckpointEvery > 0 {
+		cp, err := persist.NewCheckpointer(cfg.SnapshotPath, cfg.CheckpointEvery, fl.PersistState)
+		if err != nil {
+			return nil, err
+		}
+		srv.checkpointer = cp
+	}
+	return srv, nil
+}
+
 // routes builds the HTTP mux. Factored out so tests can hit the handlers
 // through httptest without a listener.
 func (s *server) routes() *http.ServeMux {
@@ -165,6 +232,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/audit", s.handleAudit)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.adminRoutes(mux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -186,25 +254,35 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", trace.DefaultCapacity, "span ring-buffer capacity")
 		flightCap = flag.Int("flight-cap", 0, "flight recorder ring capacity (0: default)")
 		jobs      = flag.Int("jobs", 0, "fleet mode: run N staggered-rate copies of the workload")
+		restore   = flag.String("restore", "", "boot from a fleet snapshot file (implies fleet mode)")
+		snapshot  = flag.String("snapshot", "", "path for POST /api/v1/snapshot and periodic checkpoints")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint the fleet to -snapshot every N rounds (0: on demand only)")
 	)
 	flag.Parse()
 
 	srv, spec, err := newServer(serverConfig{
-		Workload:      *workload,
-		LatencyMS:     *latency,
-		Seed:          *seed,
-		TraceCapacity: *traceCap,
-		FlightCap:     *flightCap,
-		Jobs:          *jobs,
+		Workload:        *workload,
+		LatencyMS:       *latency,
+		Seed:            *seed,
+		TraceCapacity:   *traceCap,
+		FlightCap:       *flightCap,
+		Jobs:            *jobs,
+		Restore:         *restore,
+		SnapshotPath:    *snapshot,
+		CheckpointEvery: *ckptEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	go srv.drive(*tick)
 
-	if *jobs > 0 {
+	switch {
+	case *restore != "":
+		log.Printf("metricsd: fleet restored from %s on %s (%d jobs, t=%.0fs)",
+			*restore, *addr, len(srv.fleet.JobNames()), srv.fleet.Now())
+	case *jobs > 0:
 		log.Printf("metricsd: fleet of %d %s jobs on %s", *jobs, spec.Name, *addr)
-	} else {
+	default:
 		log.Printf("metricsd: %s on %s (latency target %.0f ms)", spec.Name, *addr, *latency)
 	}
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
@@ -218,6 +296,12 @@ func (s *server) drive(tick time.Duration) {
 		for {
 			before := s.fleet.Now()
 			s.fleet.Round()
+			if s.checkpointer != nil {
+				s.checkpointer.Tick()
+				if err := s.checkpointer.Err(); err != nil {
+					log.Printf("metricsd: checkpoint error: %v", err)
+				}
+			}
 			time.Sleep(time.Duration(s.fleet.Now()-before) * tick)
 		}
 	}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"autrascale/internal/dataflow"
+	"autrascale/internal/slo"
+)
+
+// Controller persistence: the MAPE loop's mutable position — the rate
+// trigger's smoothed signal, the SLO tracker's decayed windows, and the
+// policy's throughput base — captured as plain data so a restored
+// controller resumes trigger detection and burn-rate classification
+// exactly where the snapshot left them. Decision/event history is
+// intentionally not part of the state: it is bounded observability
+// output, not control input, and a restored run starts a fresh journal.
+
+// ControllerState is a controller's serializable control-loop position.
+type ControllerState struct {
+	// CurRate is the input rate the controller last planned for; the
+	// rate-change trigger compares the smoothed signal against it.
+	CurRate float64 `json:"cur_rate"`
+	// RateEWMAValue/RateEWMAStarted are the smoothed-rate filter's state.
+	RateEWMAValue   float64 `json:"rate_ewma_value"`
+	RateEWMAStarted bool    `json:"rate_ewma_started"`
+	// LastSLO is the burn-rate state after the last step (state-crossing
+	// journal records diff against it).
+	LastSLO slo.State `json:"last_slo"`
+	// SLO is the burn-rate tracker's window state, in the engine clock's
+	// terms at capture time.
+	SLO slo.TrackerState `json:"slo"`
+	// Base is the policy's throughput-optimal configuration k' when the
+	// policy tracks one (the BO policy does); nil otherwise.
+	Base dataflow.ParallelismVector `json:"base,omitempty"`
+	// PolicyName names the scaling policy so a restore can rebuild it
+	// from the registry.
+	PolicyName string `json:"policy"`
+}
+
+// baseRestorer is implemented by policies whose throughput base can be
+// reinstated from a snapshot (the BO policy).
+type baseRestorer interface {
+	RestoreBase(dataflow.ParallelismVector)
+}
+
+// PersistState captures the controller's control-loop position. Timestamps
+// inside the SLO state are in the engine clock's terms; callers restoring
+// onto a rebuilt engine shift them (slo.TrackerState.Shifted).
+func (c *Controller) PersistState() ControllerState {
+	return ControllerState{
+		CurRate:         c.curRate,
+		RateEWMAValue:   c.rateEWMA.Value(),
+		RateEWMAStarted: c.rateEWMA.Started(),
+		LastSLO:         c.lastSLO,
+		SLO:             c.slo.State(),
+		Base:            c.Base(),
+		PolicyName:      c.policy.Name(),
+	}
+}
+
+// RestoreState overwrites the controller's control-loop position with a
+// previously captured state. The caller is responsible for shifting SLO
+// timestamps into the new engine's clock before calling. The policy's
+// base is reinstated when the policy supports it; a restored non-BO
+// policy simply re-derives its own state on the next plan.
+func (c *Controller) RestoreState(st ControllerState) {
+	c.curRate = st.CurRate
+	c.rateEWMA.Restore(st.RateEWMAValue, st.RateEWMAStarted)
+	if st.LastSLO != "" {
+		c.lastSLO = st.LastSLO
+	}
+	c.slo.RestoreState(st.SLO)
+	if len(st.Base) > 0 {
+		if br, ok := c.policy.(baseRestorer); ok {
+			br.RestoreBase(st.Base)
+		}
+	}
+}

@@ -87,6 +87,11 @@ func (p *BOPolicy) Library() *transfer.ModelLibrary { return p.library }
 // Base returns the current throughput-optimal configuration k'.
 func (p *BOPolicy) Base() dataflow.ParallelismVector { return p.base.Clone() }
 
+// RestoreBase reinstates a persisted throughput base, so a restored
+// controller's QoS-triggered replans search from the pre-snapshot k'
+// instead of an empty base.
+func (p *BOPolicy) RestoreBase(base dataflow.ParallelismVector) { p.base = base.Clone() }
+
 // Plan implements Policy: a rate change re-optimizes throughput and runs
 // Algorithm 2/1; a QoS violation re-runs Algorithm 1 from the existing
 // base.

@@ -287,6 +287,24 @@ func (e *Engine) Now() float64 { return e.nowSec }
 // Restarts returns how many reconfigurations have happened.
 func (e *Engine) Restarts() int { return e.restarts }
 
+// RNGState returns the measurement-noise generator's stream position —
+// persisted so a restored engine draws the same noise sequence a
+// continued run would.
+func (e *Engine) RNGState() uint64 { return e.rng.State() }
+
+// RestoreRNGState repositions the measurement-noise generator; the
+// inverse of RNGState.
+func (e *Engine) RestoreRNGState(s uint64) { e.rng.SetState(s) }
+
+// RestoreRestarts sets the reconfiguration counter — restored engines
+// carry the pre-snapshot count forward so observability surfaces keep
+// monotonic restart totals.
+func (e *Engine) RestoreRestarts(n int) {
+	if n > e.restarts {
+		e.restarts = n
+	}
+}
+
 // Parallelism returns the active configuration.
 func (e *Engine) Parallelism() dataflow.ParallelismVector { return e.par.Clone() }
 

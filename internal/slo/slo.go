@@ -212,6 +212,90 @@ func (t *Tracker) Observe(tSec, latencyMS, lagRecords, inputRateRPS float64) {
 	t.lastSec = tSec
 }
 
+// WindowState is one decayed window's serializable position: the same
+// three fields window keeps, exported for the persistence layer. The
+// decay constant is not part of the state — it is configuration,
+// re-derived from Config on restore.
+type WindowState struct {
+	Value   float64 `json:"value"`
+	LastSec float64 `json:"last_sec"`
+	Started bool    `json:"started"`
+}
+
+// TrackerState is a tracker's full serializable state. LastSec values
+// are in the observed clock's terms; a restore onto an engine whose
+// clock restarted must shift them first (see Shifted).
+type TrackerState struct {
+	LatFast      WindowState `json:"lat_fast"`
+	LatSlow      WindowState `json:"lat_slow"`
+	LagFast      WindowState `json:"lag_fast"`
+	LagSlow      WindowState `json:"lag_slow"`
+	Observations int         `json:"observations"`
+	LastSec      float64     `json:"last_sec"`
+}
+
+// Shifted returns the state with every timestamp moved by deltaSec —
+// used when restoring onto a rebuilt engine whose clock restarts at
+// zero: shifting by the negated snapshot-time clock keeps every future
+// dt (and therefore every decay weight) identical to an uninterrupted
+// run.
+func (s TrackerState) Shifted(deltaSec float64) TrackerState {
+	shift := func(w WindowState) WindowState {
+		if w.Started {
+			w.LastSec += deltaSec
+		}
+		return w
+	}
+	out := s
+	out.LatFast = shift(s.LatFast)
+	out.LatSlow = shift(s.LatSlow)
+	out.LagFast = shift(s.LagFast)
+	out.LagSlow = shift(s.LagSlow)
+	if s.Observations > 0 {
+		out.LastSec += deltaSec
+	}
+	return out
+}
+
+// State captures the tracker's serializable position. Zero on the nil
+// tracker.
+func (t *Tracker) State() TrackerState {
+	if t == nil {
+		return TrackerState{}
+	}
+	dump := func(w window) WindowState {
+		return WindowState{Value: w.value, LastSec: w.lastSec, Started: w.started}
+	}
+	return TrackerState{
+		LatFast:      dump(t.latFast),
+		LatSlow:      dump(t.latSlow),
+		LagFast:      dump(t.lagFast),
+		LagSlow:      dump(t.lagSlow),
+		Observations: t.observations,
+		LastSec:      t.lastSec,
+	}
+}
+
+// RestoreState overwrites the tracker's position with a previously
+// captured state; configuration (budgets, decay constants) is kept.
+// No-op on the nil tracker.
+func (t *Tracker) RestoreState(s TrackerState) {
+	if t == nil {
+		return
+	}
+	load := func(w *window, ws WindowState) {
+		w.value = ws.Value
+		w.lastSec = ws.LastSec
+		w.started = ws.Started
+	}
+	load(&t.latFast, s.LatFast)
+	load(&t.latSlow, s.LatSlow)
+	load(&t.lagFast, s.LagFast)
+	load(&t.lagSlow, s.LagSlow)
+	t.observations = s.Observations
+	t.lastSec = s.LastSec
+}
+
 // Health classifies the tracker's current state. Zero-valued (healthy,
 // unobserved) on the nil tracker.
 func (t *Tracker) Health() Health {

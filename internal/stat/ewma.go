@@ -44,6 +44,13 @@ func (e *EWMA) Reset() {
 	e.started = false
 }
 
+// Restore sets the smoother's state directly — the inverse of reading
+// (Value, Started) when persisting a controller.
+func (e *EWMA) Restore(value float64, started bool) {
+	e.value = value
+	e.started = started
+}
+
 // HalfLifeAlpha converts a half-life expressed in samples into the
 // corresponding EWMA alpha: after halfLife samples, an impulse decays to
 // half its weight.

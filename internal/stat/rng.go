@@ -34,6 +34,16 @@ func (r *RNG) next() uint64 {
 // Uint64 returns a uniformly random 64-bit value.
 func (r *RNG) Uint64() uint64 { return r.next() }
 
+// State returns the generator's position in its stream. SplitMix64's
+// entire state is one word, so (State, SetState) round-trips a generator
+// exactly — the persistence layer snapshots simulations mid-stream with
+// it.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator: the next draw after SetState(s)
+// equals the next draw of any generator whose State was s.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.next()>>11) / (1 << 53)

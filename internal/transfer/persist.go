@@ -65,16 +65,18 @@ func (s *Snapshot) PredictMean(x []float64) float64 { return s.model.PredictMean
 func (s *Snapshot) TrainingData() ([][]float64, []float64) { return s.xs, s.ys }
 
 // Save writes the library's persistable entries as JSON. Entries whose
-// models do not expose training data are skipped and counted in the
-// returned value.
-func (l *ModelLibrary) Save(w io.Writer) (skipped int, err error) {
+// models do not expose training data are dropped from the output; their
+// rate keys are returned (ascending) so callers can log exactly which
+// models a later restore will be missing instead of discovering a bare
+// count.
+func (l *ModelLibrary) Save(w io.Writer) (skipped []float64, err error) {
 	doc := libraryDoc{Version: 1}
 	// The COW snapshot is immutable, so no lock is needed: this serializes
 	// a consistent point-in-time view even while writers keep publishing.
 	for _, e := range l.snapshot() {
 		td, ok := e.Model.(TrainingData)
 		if !ok {
-			skipped++
+			skipped = append(skipped, e.RateRPS)
 			continue
 		}
 		xs, ys := td.TrainingData()

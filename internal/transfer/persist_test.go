@@ -57,8 +57,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 {
-		t.Fatalf("skipped = %d", skipped)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
 	}
 
 	loaded, err := LoadLibrary(&buf)
@@ -93,8 +93,8 @@ func TestSaveSkipsOpaqueModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 1 {
-		t.Fatalf("skipped = %d, want 1", skipped)
+	if len(skipped) != 1 || skipped[0] != 500 {
+		t.Fatalf("skipped = %v, want the opaque model's rate [500]", skipped)
 	}
 	loaded, err := LoadLibrary(&buf)
 	if err != nil {
@@ -140,7 +140,7 @@ func TestSaveControllerStyleRegressor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 {
+	if len(skipped) != 0 {
 		t.Fatal("gp.Regressor should be persistable")
 	}
 	loaded, err := LoadLibrary(&buf)

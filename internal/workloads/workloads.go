@@ -226,6 +226,32 @@ func All() []Spec {
 	return []Spec{WordCount(), Yahoo(), NexmarkQ5(), NexmarkQ11()}
 }
 
+// ByName resolves a workload by its registry name — the lookup snapshot
+// restores and declarative job submissions go through (graphs and
+// profiles are code, so persisting the name is enough to rebuild the
+// workload exactly). The case-study variant is resolvable too.
+func ByName(name string) (Spec, bool) {
+	for _, spec := range All() {
+		if spec.Name == name {
+			return spec, true
+		}
+	}
+	if cs := WordCountCaseStudy(); cs.Name == name {
+		return cs, true
+	}
+	return Spec{}, false
+}
+
+// Names lists the resolvable workload names, in registry order.
+func Names() []string {
+	specs := All()
+	out := make([]string, 0, len(specs)+1)
+	for _, spec := range specs {
+		out = append(out, spec.Name)
+	}
+	return append(out, WordCountCaseStudy().Name)
+}
+
 // EngineOptions customizes NewEngine.
 type EngineOptions struct {
 	// JobName overrides the metrics/trace job tag (default: the workload
